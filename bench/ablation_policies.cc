@@ -1,0 +1,62 @@
+// Ablation: replacement policies beyond the paper's pair. The paper
+// compares its two-level policy against the benefit policy of [DRSN98];
+// this bench adds plain LRU and a GreedyDual-Size-flavoured density policy
+// to show how much of the win comes from benefit weighting versus from the
+// two-level class rules + preloading.
+
+#include <cstdio>
+
+#include "bench/support.h"
+#include "util/table_printer.h"
+#include "workload/workload_runner.h"
+
+namespace aac {
+namespace {
+
+void Run() {
+  {
+    ExperimentConfig banner = bench::BaseConfig();
+    Experiment exp(banner);
+    bench::PrintBanner("Ablation: replacement policies",
+                       "extension — LRU / size-aware / benefit / two-level "
+                       "under the same VCMC engine",
+                       exp);
+  }
+
+  TablePrinter table({"cache size", "policy", "% complete hits",
+                      "avg ms/query", "backend ms/query"});
+  for (const auto& point : bench::CacheSweep()) {
+    for (PolicyKind policy : {PolicyKind::kLru, PolicyKind::kSizeAware,
+                              PolicyKind::kBenefit, PolicyKind::kTwoLevel}) {
+      ExperimentConfig config = bench::BaseConfig();
+      config.cache_fraction = point.fraction;
+      config.strategy = StrategyKind::kVcmc;
+      config.policy = policy;
+      config.engine.boost_groups = policy == PolicyKind::kTwoLevel;
+      config.preload = policy == PolicyKind::kTwoLevel;
+      Experiment exp(config);
+      QueryStreamGenerator gen(&exp.schema(), bench::StreamConfig());
+      WorkloadTotals totals = RunWorkload(exp.engine(), gen.Generate());
+      table.AddRow(
+          {point.label, PolicyKindName(policy),
+           TablePrinter::Fmt(totals.CompleteHitPercent(), 0),
+           TablePrinter::Fmt(totals.AvgQueryMs(), 2),
+           TablePrinter::Fmt(
+               totals.backend_ms / static_cast<double>(totals.queries), 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: benefit-weighted policies keep expensive aggregated "
+      "chunks longer than LRU; the two-level policy adds the preloaded "
+      "group-by and backend-chunk protection, dominating once the cache can "
+      "hold a high-coverage group-by.\n\n");
+}
+
+}  // namespace
+}  // namespace aac
+
+int main() {
+  aac::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 9 and Table 4 of the paper: comparing caching schemes across cache
+// sizes — no-aggregation (a conventional cache), ESM, and VCMC. Figure 9
+// plots average execution time per query; Table 4 reports the percentage of
+// complete hits and the speedup of VCMC over ESM *on complete-hit queries*
+// (where lookup and aggregation-path quality dominate).
+
+#include <cstdio>
+
+#include "bench/support.h"
+#include "util/table_printer.h"
+#include "workload/workload_runner.h"
+
+namespace aac {
+namespace {
+
+WorkloadTotals RunOne(double fraction, StrategyKind strategy) {
+  ExperimentConfig config = bench::BaseConfig();
+  config.cache_fraction = fraction;
+  config.strategy = strategy;
+  if (strategy == StrategyKind::kNoAgg) {
+    // The paper ran the no-aggregation baseline under the plain benefit
+    // policy (detail chunks carry no aggregation benefit in a passive
+    // cache).
+    config.policy = PolicyKind::kBenefit;
+    config.engine.boost_groups = false;
+    config.preload = false;
+  } else {
+    config.policy = PolicyKind::kTwoLevel;
+    config.engine.boost_groups = true;
+    config.preload = true;
+  }
+  Experiment exp(config);
+  QueryStreamGenerator gen(&exp.schema(), bench::StreamConfig());
+  return RunWorkload(exp.engine(), gen.Generate());
+}
+
+void Run() {
+  {
+    ExperimentConfig banner = bench::BaseConfig();
+    Experiment exp(banner);
+    bench::PrintBanner(
+        "Figure 9 & Table 4: caching scheme comparison",
+        "Fig 9 — NoAgg vs ESM vs VCMC average execution times; Table 4 — "
+        "complete hits and VCMC-over-ESM speedup",
+        exp);
+  }
+
+  TablePrinter fig9({"cache size", "NoAgg avg ms", "ESM avg ms",
+                     "VCMC avg ms"});
+  TablePrinter table4({"cache size", "% complete hits (VCMC)",
+                       "% complete hits (NoAgg)", "ESM avg hit ms",
+                       "VCMC avg hit ms", "speedup (VCMC over ESM)"});
+  bench::CsvEmitter fig9_csv("fig9", {"cache", "scheme", "avg_ms"});
+  for (const auto& point : bench::CacheSweep()) {
+    WorkloadTotals no_agg = RunOne(point.fraction, StrategyKind::kNoAgg);
+    WorkloadTotals esm = RunOne(point.fraction, StrategyKind::kEsm);
+    WorkloadTotals vcmc = RunOne(point.fraction, StrategyKind::kVcmc);
+    fig9_csv.AddRow(
+        {point.label, "NoAgg", TablePrinter::Fmt(no_agg.AvgQueryMs(), 3)});
+    fig9_csv.AddRow(
+        {point.label, "ESM", TablePrinter::Fmt(esm.AvgQueryMs(), 3)});
+    fig9_csv.AddRow(
+        {point.label, "VCMC", TablePrinter::Fmt(vcmc.AvgQueryMs(), 3)});
+    fig9.AddRow({point.label, TablePrinter::Fmt(no_agg.AvgQueryMs(), 2),
+                 TablePrinter::Fmt(esm.AvgQueryMs(), 2),
+                 TablePrinter::Fmt(vcmc.AvgQueryMs(), 2)});
+    const double speedup =
+        vcmc.AvgHitMs() > 0 ? esm.AvgHitMs() / vcmc.AvgHitMs() : 0.0;
+    table4.AddRow({point.label,
+                   TablePrinter::Fmt(vcmc.CompleteHitPercent(), 0),
+                   TablePrinter::Fmt(no_agg.CompleteHitPercent(), 0),
+                   TablePrinter::Fmt(esm.AvgHitMs(), 3),
+                   TablePrinter::Fmt(vcmc.AvgHitMs(), 3),
+                   TablePrinter::Fmt(speedup, 2)});
+  }
+  std::printf("Figure 9 — average execution times (ms/query):\n");
+  fig9.Print();
+  std::printf("\nTable 4 — complete hits and speedup on complete-hit "
+              "queries:\n");
+  table4.Print();
+  std::printf(
+      "\npaper Table 4: complete hits 66/74/77/100%% for 10/15/20/25 MB and "
+      "speedups 5.8/4.11/3.17/1.11.\n"
+      "expected shape: both active schemes beat NoAgg by a wide margin "
+      "(paper: only 31/100 complete hits without aggregation); VCMC >= ESM "
+      "everywhere, with the gap shrinking as the cache grows (at 25MB-eq the "
+      "base table fits and ESM's first path succeeds immediately).\n\n");
+}
+
+}  // namespace
+}  // namespace aac
+
+int main() {
+  aac::Run();
+  return 0;
+}

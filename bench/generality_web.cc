@@ -1,0 +1,73 @@
+// Generality experiment (the paper's closing question): does active
+// caching pay off on workloads beyond the APB-1 OLAP benchmark? Same
+// comparison as Figure 9 — NoAgg vs ESM vs VCMC — but on a web-analytics
+// cube with a different shape: a deeper time dimension (month/day/hour), a
+// flatter page hierarchy, and a 72-node lattice.
+
+#include <cstdio>
+
+#include "bench/support.h"
+#include "util/table_printer.h"
+#include "workload/workload_runner.h"
+
+namespace aac {
+namespace {
+
+WorkloadTotals RunOne(double fraction, StrategyKind strategy) {
+  ExperimentConfig config = bench::BaseConfig();
+  config.cube = CubeKind::kWeb;
+  config.data.dense_dim = 2;  // sessions span hours, as sales span weeks
+  config.cache_fraction = fraction;
+  config.strategy = strategy;
+  if (strategy == StrategyKind::kNoAgg) {
+    config.policy = PolicyKind::kBenefit;
+    config.engine.boost_groups = false;
+    config.preload = false;
+  } else {
+    config.policy = PolicyKind::kTwoLevel;
+    config.engine.boost_groups = true;
+    config.preload = true;
+  }
+  Experiment exp(config);
+  QueryStreamGenerator gen(&exp.schema(), bench::StreamConfig());
+  return RunWorkload(exp.engine(), gen.Generate());
+}
+
+void Run() {
+  {
+    ExperimentConfig banner = bench::BaseConfig();
+    banner.cube = CubeKind::kWeb;
+    Experiment exp(banner);
+    bench::PrintBanner(
+        "Generality: active caching on a web-analytics cube",
+        "extension — the paper's future-work question: workloads beyond "
+        "OLAP benchmarks",
+        exp);
+  }
+
+  TablePrinter table({"cache size", "scheme", "% complete hits",
+                      "avg ms/query"});
+  for (const auto& point : bench::CacheSweep()) {
+    for (StrategyKind kind :
+         {StrategyKind::kNoAgg, StrategyKind::kEsm, StrategyKind::kVcmc}) {
+      WorkloadTotals totals = RunOne(point.fraction, kind);
+      table.AddRow({point.label, StrategyKindName(kind),
+                    TablePrinter::Fmt(totals.CompleteHitPercent(), 0),
+                    TablePrinter::Fmt(totals.AvgQueryMs(), 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: the APB-1 conclusions carry over — aggregate-aware "
+      "schemes dominate the conventional cache, and VCMC's constant-time "
+      "lookups keep it at or ahead of ESM — on a lattice with a different "
+      "shape (72 nodes, hour-level time).\n\n");
+}
+
+}  // namespace
+}  // namespace aac
+
+int main() {
+  aac::Run();
+  return 0;
+}

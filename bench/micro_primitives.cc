@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the substrate primitives the
+// lookup algorithms lean on: chunk-number mapping across levels, lattice
+// navigation, and fact-table chunk scans. Not a paper experiment; used to
+// keep the primitives' costs in check.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "storage/aggregator.h"
+#include "storage/fact_table.h"
+#include "util/rng.h"
+#include "workload/apb_schema.h"
+#include "workload/data_generator.h"
+
+namespace aac {
+namespace {
+
+const ApbCube& Cube() {
+  static const ApbCube* cube = new ApbCube();
+  return *cube;
+}
+
+void BM_LatticeParents(benchmark::State& state) {
+  const Lattice& lattice = Cube().lattice();
+  GroupById gb = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lattice.Parents(gb).size());
+    gb = (gb + 1) % lattice.num_groupbys();
+  }
+}
+BENCHMARK(BM_LatticeParents);
+
+void BM_LatticeNumPathsToBase(benchmark::State& state) {
+  const Lattice& lattice = Cube().lattice();
+  GroupById gb = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lattice.NumPathsToBase(gb));
+    gb = (gb + 1) % lattice.num_groupbys();
+  }
+}
+BENCHMARK(BM_LatticeNumPathsToBase);
+
+void BM_ChunkCoordsRoundTrip(benchmark::State& state) {
+  const ChunkGrid& grid = Cube().grid();
+  const GroupById base = Cube().lattice().base_id();
+  ChunkId c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.ChunkIdOf(base, grid.CoordsOf(base, c)));
+    c = (c + 1) % grid.NumChunks(base);
+  }
+}
+BENCHMARK(BM_ChunkCoordsRoundTrip);
+
+void BM_ParentChunkNumbersAlloc(benchmark::State& state) {
+  const ChunkGrid& grid = Cube().grid();
+  const Lattice& lattice = Cube().lattice();
+  const GroupById top = lattice.top_id();
+  const GroupById mid = lattice.IdOf(LevelVector{3, 1, 2, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.ParentChunkNumbers(top, 0, mid).size());
+  }
+}
+BENCHMARK(BM_ParentChunkNumbersAlloc);
+
+void BM_ForEachParentChunk(benchmark::State& state) {
+  const ChunkGrid& grid = Cube().grid();
+  const Lattice& lattice = Cube().lattice();
+  const GroupById top = lattice.top_id();
+  const GroupById mid = lattice.IdOf(LevelVector{3, 1, 2, 0, 0});
+  for (auto _ : state) {
+    int64_t sum = 0;
+    grid.ForEachParentChunk(top, 0, mid, [&](ChunkId id) {
+      sum += id;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ForEachParentChunk);
+
+void BM_ChunkOfCell(benchmark::State& state) {
+  const ChunkGrid& grid = Cube().grid();
+  const GroupById base = Cube().lattice().base_id();
+  Rng rng(1);
+  int32_t values[5] = {0, 0, 0, 0, 0};
+  for (auto _ : state) {
+    values[0] = static_cast<int32_t>(rng.Uniform(768));
+    values[1] = static_cast<int32_t>(rng.Uniform(240));
+    values[2] = static_cast<int32_t>(rng.Uniform(96));
+    values[3] = static_cast<int32_t>(rng.Uniform(10));
+    values[4] = static_cast<int32_t>(rng.Uniform(2));
+    benchmark::DoNotOptimize(grid.ChunkOfCell(base, values));
+  }
+}
+BENCHMARK(BM_ChunkOfCell);
+
+void BM_AggregateBaseChunkToTop(benchmark::State& state) {
+  static const FactTable* table = [] {
+    DataGenConfig config;
+    config.num_tuples = 100'000;
+    return new FactTable(&Cube().grid(),
+                         GenerateFactData(Cube().schema(), config));
+  }();
+  Aggregator aggregator(&Cube().grid());
+  const GroupById base = Cube().lattice().base_id();
+  const GroupById top = Cube().lattice().top_id();
+  ChunkId c = 0;
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    ChunkData out = aggregator.AggregateCells(
+        base, table->ChunkSlice(c),
+        top, Cube().grid().ChildChunkNumber(base, c, top));
+    tuples += static_cast<int64_t>(table->ChunkSlice(c).size());
+    benchmark::DoNotOptimize(out.tuple_count());
+    c = (c + 1) % table->num_chunks();
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_AggregateBaseChunkToTop);
+
+}  // namespace
+}  // namespace aac
+
+BENCHMARK_MAIN();

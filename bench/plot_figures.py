@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as SVG from the bench CSVs.
+
+Usage:
+    mkdir -p figures
+    AAC_BENCH_CSV=figures ./build/bench/fig7_fig8_policies
+    AAC_BENCH_CSV=figures ./build/bench/fig9_table4_comparison
+    AAC_BENCH_CSV=figures ./build/bench/fig10_time_breakup
+    python3 bench/plot_figures.py figures
+
+Writes fig7.svg, fig8.svg, fig9.svg and fig10.svg next to the CSVs.
+Standard library only — no matplotlib required.
+"""
+
+import csv
+import os
+import sys
+
+PALETTE = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4"]
+WIDTH, HEIGHT = 640, 400
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 160, 40, 60
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def svg_header(title):
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<text x="{WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{title}</text>',
+    ]
+
+
+def axes(parts, categories, y_max, y_label):
+    x0, y0 = MARGIN_L, HEIGHT - MARGIN_B
+    x1, y1 = WIDTH - MARGIN_R, MARGIN_T
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>')
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>')
+    for i, cat in enumerate(categories):
+        x = x0 + (i + 0.5) * (x1 - x0) / len(categories)
+        parts.append(f'<text x="{x}" y="{y0 + 18}" '
+                     f'text-anchor="middle">{cat}</text>')
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = y0 - frac * (y0 - y1)
+        value = frac * y_max
+        parts.append(f'<line x1="{x0 - 4}" y1="{y}" x2="{x0}" y2="{y}" '
+                     f'stroke="black"/>')
+        parts.append(f'<text x="{x0 - 8}" y="{y + 4}" '
+                     f'text-anchor="end">{value:.3g}</text>')
+    parts.append(
+        f'<text x="18" y="{(y0 + y1) / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {(y0 + y1) / 2})">{y_label}</text>')
+    return x0, y0, x1, y1
+
+
+def legend(parts, labels):
+    lx = WIDTH - MARGIN_R + 16
+    for i, label in enumerate(labels):
+        y = MARGIN_T + 16 + i * 20
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(f'<rect x="{lx}" y="{y - 10}" width="12" height="12" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{lx + 18}" y="{y}">{label}</text>')
+
+
+def grouped_bars(rows, key, value, title, y_label, out_path):
+    """One bar group per cache size, one bar per series (`key` column)."""
+    categories = []
+    series = []
+    data = {}
+    for row in rows:
+        cat, ser = row["cache"], row[key]
+        if cat not in categories:
+            categories.append(cat)
+        if ser not in series:
+            series.append(ser)
+        data[(cat, ser)] = float(row[value])
+    y_max = max(data.values()) * 1.1 or 1.0
+
+    parts = svg_header(title)
+    x0, y0, x1, _ = axes(parts, categories, y_max, y_label)
+    group_w = (x1 - x0) / len(categories)
+    bar_w = group_w * 0.8 / len(series)
+    for ci, cat in enumerate(categories):
+        for si, ser in enumerate(series):
+            v = data.get((cat, ser), 0.0)
+            h = (v / y_max) * (y0 - MARGIN_T)
+            x = x0 + ci * group_w + group_w * 0.1 + si * bar_w
+            color = PALETTE[si % len(PALETTE)]
+            parts.append(f'<rect x="{x:.1f}" y="{y0 - h:.1f}" '
+                         f'width="{bar_w:.1f}" height="{h:.1f}" '
+                         f'fill="{color}"/>')
+    legend(parts, series)
+    parts.append("</svg>")
+    with open(out_path, "w") as f:
+        f.write("\n".join(parts))
+    print(f"wrote {out_path}")
+
+
+def stacked_bars(rows, stack_columns, title, y_label, out_path):
+    """fig10: one group per cache size, one stacked bar per algorithm."""
+    categories = []
+    series = []
+    data = {}
+    for row in rows:
+        cat, ser = row["cache"], row["algorithm"]
+        if cat not in categories:
+            categories.append(cat)
+        if ser not in series:
+            series.append(ser)
+        data[(cat, ser)] = [float(row[c]) for c in stack_columns]
+    y_max = max(sum(v) for v in data.values()) * 1.1 or 1.0
+
+    parts = svg_header(title)
+    x0, y0, x1, _ = axes(parts, categories, y_max, y_label)
+    group_w = (x1 - x0) / len(categories)
+    bar_w = group_w * 0.8 / len(series)
+    for ci, cat in enumerate(categories):
+        for si, ser in enumerate(series):
+            x = x0 + ci * group_w + group_w * 0.1 + si * bar_w
+            y = y0
+            for pi, v in enumerate(data.get((cat, ser), [])):
+                h = (v / y_max) * (y0 - MARGIN_T)
+                color = PALETTE[pi % len(PALETTE)]
+                parts.append(f'<rect x="{x:.1f}" y="{y - h:.1f}" '
+                             f'width="{bar_w:.1f}" height="{h:.1f}" '
+                             f'fill="{color}"/>')
+                y -= h
+            parts.append(f'<text x="{x + bar_w / 2:.1f}" y="{y - 4:.1f}" '
+                         f'text-anchor="middle" font-size="10">{ser}</text>')
+    legend(parts, [c.replace("_ms", "") for c in stack_columns])
+    parts.append("</svg>")
+    with open(out_path, "w") as f:
+        f.write("\n".join(parts))
+    print(f"wrote {out_path}")
+
+
+def main():
+    directory = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    jobs = [
+        ("fig7.csv", lambda rows, out: grouped_bars(
+            rows, "policy", "hits_pct",
+            "Figure 7: complete hit ratios", "% complete hits", out)),
+        ("fig8.csv", lambda rows, out: grouped_bars(
+            rows, "policy", "avg_ms",
+            "Figure 8: average execution times", "ms/query", out)),
+        ("fig9.csv", lambda rows, out: grouped_bars(
+            rows, "scheme", "avg_ms",
+            "Figure 9: NoAgg vs ESM vs VCMC", "ms/query", out)),
+        ("fig10.csv", lambda rows, out: stacked_bars(
+            rows, ["lookup_ms", "aggregation_ms", "update_ms"],
+            "Figure 10: time breakup (complete hits)", "ms/hit", out)),
+    ]
+    ran = 0
+    for name, render in jobs:
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            print(f"skip {path} (not found)")
+            continue
+        render(read_csv(path), path.replace(".csv", ".svg"))
+        ran += 1
+    if ran == 0:
+        print(__doc__)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#ifndef AAC_BENCH_SUPPORT_H_
+#define AAC_BENCH_SUPPORT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "workload/experiment.h"
+#include "workload/query_stream.h"
+
+namespace aac::bench {
+
+/// Integer knob from the environment (AAC_BENCH_* overrides for slower or
+/// faster machines), with a default.
+inline int64_t EnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::strtoll(v, nullptr, 10);
+}
+
+/// The paper swept cache sizes of 10, 15, 20 and 25 MB against a ~22 MB
+/// base table; we sweep the same fractions of our (scaled) base table.
+struct CachePoint {
+  double fraction;
+  const char* label;  // the paper's MB label for the same fraction
+};
+
+inline std::vector<CachePoint> CacheSweep() {
+  return {{0.45, "10MB-eq"},
+          {0.68, "15MB-eq"},
+          {0.91, "20MB-eq"},
+          {1.14, "25MB-eq"}};
+}
+
+/// Baseline experiment configuration shared by the paper-reproduction
+/// benches. AAC_BENCH_TUPLES / AAC_BENCH_QUERIES / AAC_BENCH_SEED override.
+inline ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.data.num_tuples = EnvInt64("AAC_BENCH_TUPLES", 150'000);
+  config.data.seed = static_cast<uint64_t>(EnvInt64("AAC_BENCH_SEED", 42));
+  config.data.dense_dim = 2;  // time: APB-1 emits per-month records
+  // Exact group-by/chunk sizes: the preloader and the cost-based strategies
+  // need real sizes on correlated data (the paper's size estimates came
+  // from [SDN98] sampling of the actual data).
+  config.measured_sizes = true;
+  return config;
+}
+
+inline int NumQueries() {
+  return static_cast<int>(EnvInt64("AAC_BENCH_QUERIES", 100));
+}
+
+inline QueryStreamConfig StreamConfig() {
+  QueryStreamConfig config;
+  config.num_queries = NumQueries();
+  config.seed = static_cast<uint64_t>(EnvInt64("AAC_BENCH_SEED", 42)) + 1;
+  return config;
+}
+
+/// Prints the standard experiment banner.
+inline void PrintBanner(const char* title, const char* paper_ref,
+                        const Experiment& exp) {
+  std::printf("=== %s ===\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf(
+      "setup: APB-1-like schema, %d group-bys, %lld chunks over all levels, "
+      "%lld base chunks\n",
+      exp.lattice().num_groupbys(),
+      static_cast<long long>(exp.grid().TotalChunksAllGroupBys()),
+      static_cast<long long>(exp.grid().NumChunks(exp.lattice().base_id())));
+  std::printf(
+      "data: %lld tuples (~%.1f MB logical), cache %.2fx base (~%.1f MB "
+      "logical)\n\n",
+      static_cast<long long>(exp.table().num_tuples()),
+      static_cast<double>(exp.table().num_tuples() *
+                          exp.config().bytes_per_tuple) /
+          1e6,
+      exp.config().cache_fraction,
+      static_cast<double>(exp.cache_bytes()) / 1e6);
+}
+
+/// Optional CSV emission for the figure benches: when AAC_BENCH_CSV names
+/// a directory, each emitter appends to <dir>/<name>.csv (header written
+/// once per process); otherwise every call is a no-op. The CSVs feed
+/// bench/plot_figures.py, which renders the paper's figures as SVG.
+class CsvEmitter {
+ public:
+  CsvEmitter(const char* name, const std::vector<std::string>& headers) {
+    const char* dir = std::getenv("AAC_BENCH_CSV");
+    if (dir == nullptr) return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "csv: cannot open %s\n", path.c_str());
+      return;
+    }
+    WriteRow(headers);
+  }
+
+  ~CsvEmitter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  CsvEmitter(const CsvEmitter&) = delete;
+  CsvEmitter& operator=(const CsvEmitter&) = delete;
+
+  void AddRow(const std::vector<std::string>& row) {
+    if (file_ != nullptr) WriteRow(row);
+  }
+
+ private:
+  void WriteRow(const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(file_, "%s%s", i > 0 ? "," : "", row[i].c_str());
+    }
+    std::fprintf(file_, "\n");
+    std::fflush(file_);
+  }
+
+  std::FILE* file_ = nullptr;
+};
+
+/// A stratified sample of `count` group-bys spanning the aggregation
+/// spectrum (always includes the top and base nodes).
+inline std::vector<GroupById> SampleGroupBys(const Lattice& lattice,
+                                             int count) {
+  std::vector<GroupById> out;
+  const auto& order = lattice.TopoDetailedFirst();
+  const int n = static_cast<int>(order.size());
+  const int step = n <= count ? 1 : n / count;
+  for (int i = 0; i < n; i += step) out.push_back(order[static_cast<size_t>(i)]);
+  return out;
+}
+
+}  // namespace aac::bench
+
+#endif  // AAC_BENCH_SUPPORT_H_

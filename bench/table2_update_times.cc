@@ -1,0 +1,122 @@
+// Table 2 of the paper: count/cost maintenance ("update") times of VCM and
+// VCMC while inserting chunks. Following the paper's worst-case probe, all
+// chunks of level (6,2,3,1,0) are loaded first, then all chunks of
+// (6,2,3,0,0): the second load leaves VCM's counts untouched (everything is
+// already computable) but forces VCMC to re-propagate costs.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/support.h"
+#include "core/vcm.h"
+#include "core/vcmc.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace aac {
+namespace {
+
+// Times each OnInsert/OnEvict of a wrapped listener.
+class TimingListener : public CacheListener {
+ public:
+  explicit TimingListener(CacheListener* inner) : inner_(inner) {}
+
+  void OnInsert(const CacheKey& key) override {
+    Stopwatch timer;
+    inner_->OnInsert(key);
+    ms_.Add(timer.ElapsedMillis());
+  }
+  void OnEvict(const CacheKey& key) override {
+    Stopwatch timer;
+    inner_->OnEvict(key);
+    ms_.Add(timer.ElapsedMillis());
+  }
+
+  const StatAccumulator& ms() const { return ms_; }
+  void Reset() { ms_ = StatAccumulator(); }
+
+ private:
+  CacheListener* inner_;
+  StatAccumulator ms_;
+};
+
+struct LoadStats {
+  StatAccumulator first;   // loading (6,2,3,1,0)
+  StatAccumulator second;  // loading (6,2,3,0,0)
+};
+
+template <typename Strategy>
+LoadStats MeasureLoads(const char* name) {
+  ExperimentConfig config = bench::BaseConfig();
+  config.cache_fraction = 3.0;  // both loads fit without eviction
+  Experiment exp(config);
+
+  std::unique_ptr<Strategy> strategy;
+  if constexpr (std::is_same_v<Strategy, VcmStrategy>) {
+    strategy = std::make_unique<VcmStrategy>(&exp.grid(), &exp.cache());
+  } else {
+    strategy = std::make_unique<VcmcStrategy>(&exp.grid(), &exp.cache(),
+                                              &exp.size_model());
+  }
+  TimingListener timing(strategy->listener());
+  exp.cache().AddListener(&timing);
+
+  auto load_level = [&](const LevelVector& level) {
+    const GroupById gb = exp.lattice().IdOf(level);
+    std::vector<ChunkId> chunks;
+    for (ChunkId c = 0; c < exp.grid().NumChunks(gb); ++c) chunks.push_back(c);
+    for (ChunkData& data : exp.backend().ExecuteChunkQuery(gb, chunks)) {
+      const ChunkId id = data.chunk;
+      exp.cache().Insert(std::move(data),
+                         exp.benefit().BackendChunkBenefit(gb, id),
+                         ChunkSource::kBackend);
+    }
+  };
+
+  LoadStats stats;
+  load_level(LevelVector{6, 2, 3, 1, 0});
+  stats.first = timing.ms();
+  timing.Reset();
+  load_level(LevelVector{6, 2, 3, 0, 0});
+  stats.second = timing.ms();
+  (void)name;
+  return stats;
+}
+
+void Run() {
+  ExperimentConfig banner_config = bench::BaseConfig();
+  Experiment banner_exp(banner_config);
+  bench::PrintBanner("Table 2: update times (ms)",
+                     "Table 2 — VCM/VCMC maintenance while loading "
+                     "(6,2,3,1,0) then (6,2,3,0,0)",
+                     banner_exp);
+
+  LoadStats vcm = MeasureLoads<VcmStrategy>("VCM");
+  LoadStats vcmc = MeasureLoads<VcmcStrategy>("VCMC");
+
+  TablePrinter table({"algorithm / load", "min", "max", "avg", "inserts"});
+  auto row = [&](const char* label, const StatAccumulator& s) {
+    table.AddRow({label, TablePrinter::Fmt(s.min(), 4),
+                  TablePrinter::Fmt(s.max(), 4),
+                  TablePrinter::Fmt(s.mean(), 4), std::to_string(s.count())});
+  };
+  row("VCM  | loading (6,2,3,1,0)", vcm.first);
+  row("VCM  | loading (6,2,3,0,0)", vcm.second);
+  row("VCMC | loading (6,2,3,1,0)", vcmc.first);
+  row("VCMC | loading (6,2,3,0,0)", vcmc.second);
+  table.Print();
+  std::printf(
+      "\npaper Table 2 (ms): VCM 1.797 avg / 19 max on the first load and "
+      "exactly 0 on the second; VCMC 5.427 avg / 36 max, then 10.09 avg / 15 "
+      "max on the second load (cost changes propagate, counts do not).\n"
+      "expected shape: VCM second-load times ~0; VCMC second-load times "
+      "non-zero and above its first-load average.\n\n");
+}
+
+}  // namespace
+}  // namespace aac
+
+int main() {
+  aac::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Cache sizer: capacity planning for the middle tier. Replays one workload
+// (a generated session, or a trace file captured earlier) at a range of
+// cache sizes and reports the hit/latency curve with a knee recommendation
+// — the operational question the paper's Figures 7–9 answer for its
+// testbed.
+//
+//   $ ./cache_sizer              # generated 100-query session
+//   $ ./cache_sizer my.trace     # replay a trace (see workload/trace.h)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/table_printer.h"
+#include "workload/experiment.h"
+#include "workload/trace.h"
+#include "workload/workload_runner.h"
+
+using namespace aac;
+
+int main(int argc, char** argv) {
+  // A reference cube to parse/generate the workload against; every sweep
+  // point rebuilds its own experiment with identical data.
+  ExperimentConfig base;
+  base.data.num_tuples = 100'000;
+  base.data.dense_dim = 2;
+  base.strategy = StrategyKind::kVcmc;
+  base.policy = PolicyKind::kTwoLevel;
+  base.engine.boost_groups = true;
+  base.measured_sizes = true;
+  base.preload = true;
+
+  std::vector<QueryStreamEntry> stream;
+  {
+    ApbCube cube(base.apb);
+    if (argc > 1) {
+      bool ok = false;
+      stream = QueryTrace::Read(argv[1], cube.schema(), &ok);
+      if (!ok) return 1;
+      std::printf("replaying %zu queries from %s\n\n", stream.size(),
+                  argv[1]);
+    } else {
+      QueryStreamConfig config;
+      config.num_queries = 100;
+      QueryStreamGenerator gen(&cube.schema(), config);
+      stream = gen.Generate();
+      std::printf("generated a %d-query session "
+                  "(30/30/30/10 drill/roll/proximity/random)\n\n",
+                  config.num_queries);
+    }
+  }
+
+  TablePrinter table({"cache (% of base)", "% complete hits", "avg ms/query",
+                      "backend tuple scans"});
+  struct Point {
+    double fraction;
+    double avg_ms;
+  };
+  std::vector<Point> points;
+  for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {
+    ExperimentConfig config = base;
+    config.cache_fraction = fraction;
+    Experiment exp(config);
+    WorkloadTotals totals = RunWorkload(exp.engine(), stream);
+    table.AddRow({TablePrinter::Fmt(fraction * 100, 0),
+                  TablePrinter::Fmt(totals.CompleteHitPercent(), 0),
+                  TablePrinter::Fmt(totals.AvgQueryMs(), 2),
+                  std::to_string(exp.backend().stats().tuples_scanned)});
+    points.push_back({fraction, totals.AvgQueryMs()});
+  }
+  table.Print();
+
+  // Knee: the smallest size that realizes >= 85% of the total achievable
+  // latency improvement across the sweep.
+  const double worst = points.front().avg_ms;
+  double best = worst;
+  for (const Point& p : points) best = std::min(best, p.avg_ms);
+  double recommended = points.back().fraction;
+  for (const Point& p : points) {
+    const double achieved =
+        worst == best ? 1.0 : (worst - p.avg_ms) / (worst - best);
+    if (achieved >= 0.85) {
+      recommended = p.fraction;
+      break;
+    }
+  }
+  std::printf("\nrecommended cache size: ~%.0f%% of the base table for this "
+              "workload (diminishing returns beyond)\n",
+              recommended * 100);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef AAC_BACKEND_BACKEND_H_
+#define AAC_BACKEND_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/cost_model.h"
+#include "chunks/chunk_grid.h"
+#include "storage/aggregator.h"
+#include "storage/chunk_data.h"
+#include "storage/fact_table.h"
+#include "util/sim_clock.h"
+
+namespace aac {
+
+/// Running totals of backend activity, for experiment reporting.
+struct BackendStats {
+  int64_t queries = 0;
+  int64_t chunks_returned = 0;
+  int64_t base_chunks_scanned = 0;
+  int64_t tuples_scanned = 0;
+};
+
+/// Simulated backend database server.
+///
+/// Stands in for the paper's remote commercial RDBMS: it genuinely computes
+/// chunk results by scanning the chunked fact table (so answers are real and
+/// verifiable), and charges the latency a remote SQL round trip would have
+/// cost into the supplied SimClock. One `ExecuteChunkQuery` call corresponds
+/// to the paper's single SQL statement for all missing chunks of a query.
+class BackendServer {
+ public:
+  /// `table` and `clock` must outlive the server. The clock may be null if
+  /// simulated latency tracking is not needed.
+  BackendServer(const FactTable* table, const BackendCostModel& model,
+                SimClock* clock);
+
+  const BackendCostModel& cost_model() const { return model_; }
+  const BackendStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BackendStats(); }
+
+  /// Computes the requested chunks of group-by `gb` from the fact table.
+  /// Charges one query's worth of simulated latency.
+  std::vector<ChunkData> ExecuteChunkQuery(GroupById gb,
+                                           const std::vector<ChunkId>& chunks);
+
+  /// Simulated latency the backend would charge for computing `chunks` of
+  /// `gb`, without executing. Used by cost-based admission decisions and by
+  /// the benefit metric of the replacement policies.
+  int64_t EstimateQueryCostNanos(GroupById gb,
+                                 const std::vector<ChunkId>& chunks) const;
+
+  /// Marginal latency of adding one more chunk to an existing backend
+  /// query (scan + seeks, no per-query fixed overhead). The cost-based
+  /// bypass optimizer (paper Section 5.2) compares this against the
+  /// in-cache aggregation estimate.
+  int64_t EstimateMarginalChunkCostNanos(GroupById gb, ChunkId chunk) const;
+
+ private:
+  const FactTable* table_;
+  BackendCostModel model_;
+  SimClock* clock_;
+  Aggregator aggregator_;
+  BackendStats stats_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_BACKEND_BACKEND_H_

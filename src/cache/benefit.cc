@@ -1,0 +1,44 @@
+#include "cache/benefit.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+BenefitModel::BenefitModel(const ChunkSizeModel* size_model,
+                           double backend_overhead_tuples)
+    : size_model_(size_model),
+      backend_overhead_tuples_(backend_overhead_tuples) {
+  AAC_CHECK(size_model != nullptr);
+}
+
+double BenefitModel::BackendRecomputeTuples(GroupById gb, ChunkId chunk) const {
+  // The base cells under the chunk form, per dimension, one contiguous value
+  // range; the expected tuple count is the covered base-cell count times the
+  // base density (expected tuples per base cell).
+  const ChunkGrid& grid = *size_model_->grid();
+  const Lattice& lattice = grid.lattice();
+  const Schema& schema = grid.schema();
+  const LevelVector& lv = lattice.LevelOf(gb);
+  const LevelVector& base_lv = schema.base_level();
+  const ChunkCoords coords = grid.CoordsOf(gb, chunk);
+  double base_cells = 1.0;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const DimensionChunkLayout& layout = grid.layout(d);
+    auto [cb, ce] = layout.DescendantChunkRange(
+        lv[d], coords[static_cast<size_t>(d)], base_lv[d]);
+    const int32_t vb = layout.ValueRange(base_lv[d], cb).first;
+    const int32_t ve = layout.ValueRange(base_lv[d], ce - 1).second;
+    base_cells *= ve - vb;
+  }
+  return base_cells * size_model_->base_density();
+}
+
+double BenefitModel::BackendChunkBenefit(GroupById gb, ChunkId chunk) const {
+  return BackendRecomputeTuples(gb, chunk) + backend_overhead_tuples_;
+}
+
+double BenefitModel::CacheComputedChunkBenefit(double tuples_aggregated) const {
+  return tuples_aggregated;
+}
+
+}  // namespace aac

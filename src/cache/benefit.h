@@ -1,0 +1,43 @@
+#ifndef AAC_CACHE_BENEFIT_H_
+#define AAC_CACHE_BENEFIT_H_
+
+#include "chunks/chunk_grid.h"
+#include "chunks/chunk_size_model.h"
+
+namespace aac {
+
+/// Computes the benefit metric the replacement policies weigh chunks by
+/// (paper Section 6.1).
+///
+/// - A *backend* chunk's benefit is the estimated cost of re-fetching it:
+///   the expected base tuples the backend would scan, plus a fixed-overhead
+///   equivalent — so aggregated chunks, which cover more base data, get
+///   higher benefit, as in [DRSN98].
+/// - A *cache-computed* chunk's benefit is the cost of the aggregation that
+///   produced it (tuples aggregated), which the caller measured.
+class BenefitModel {
+ public:
+  /// `size_model` must outlive this object. `backend_overhead_tuples` is the
+  /// per-query backend overhead expressed in scan-tuple equivalents; it is
+  /// added to every backend chunk's benefit.
+  explicit BenefitModel(const ChunkSizeModel* size_model,
+                        double backend_overhead_tuples = 0.0);
+
+  /// Expected base tuples under `chunk` of `gb` (what a backend re-fetch
+  /// would scan).
+  double BackendRecomputeTuples(GroupById gb, ChunkId chunk) const;
+
+  /// Benefit of a chunk fetched from the backend.
+  double BackendChunkBenefit(GroupById gb, ChunkId chunk) const;
+
+  /// Benefit of a chunk computed by in-cache aggregation.
+  double CacheComputedChunkBenefit(double tuples_aggregated) const;
+
+ private:
+  const ChunkSizeModel* size_model_;
+  double backend_overhead_tuples_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CACHE_BENEFIT_H_

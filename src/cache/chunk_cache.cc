@@ -1,0 +1,197 @@
+#include "cache/chunk_cache.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace aac {
+
+ChunkCache::ChunkCache(int64_t capacity_bytes, int64_t bytes_per_tuple,
+                       const ReplacementPolicy* policy)
+    : capacity_bytes_(capacity_bytes),
+      bytes_per_tuple_(bytes_per_tuple),
+      policy_(policy) {
+  AAC_CHECK_GE(capacity_bytes, 0);
+  AAC_CHECK_GT(bytes_per_tuple, 0);
+  AAC_CHECK(policy != nullptr);
+  const auto classes = static_cast<size_t>(policy->num_victim_classes());
+  AAC_CHECK_GE(policy->num_victim_classes(), 1);
+  rings_.resize(classes);
+  hands_.resize(classes);
+  for (size_t c = 0; c < classes; ++c) hands_[c] = rings_[c].end();
+  class_bytes_.assign(classes, 0);
+}
+
+void ChunkCache::AddListener(CacheListener* listener) {
+  AAC_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+bool ChunkCache::Contains(const CacheKey& key) const {
+  return entries_.count(key) > 0;
+}
+
+const ChunkData* ChunkCache::Get(const CacheKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.clock_value = policy_->ClockValue(it->second.info);
+  return &it->second.data;
+}
+
+const ChunkData* ChunkCache::Peek(const CacheKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.data;
+}
+
+bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
+  const CacheKey key{data.gb, data.chunk};
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) {
+    // Refresh: the chunk is already cached; treat the insert as a use.
+    existing->second.clock_value = policy_->ClockValue(existing->second.info);
+    return true;
+  }
+
+  CacheEntryInfo info;
+  info.key = key;
+  info.bytes = data.LogicalBytes(bytes_per_tuple_);
+  info.benefit = benefit;
+  info.source = source;
+  if (info.bytes > capacity_bytes_) {
+    ++stats_.rejected_inserts;
+    return false;
+  }
+
+  const int64_t needed = bytes_used_ + info.bytes - capacity_bytes_;
+  if (needed > 0 && !EvictFor(info, needed)) {
+    ++stats_.rejected_inserts;
+    return false;
+  }
+
+  const int victim_class = policy_->VictimClass(info);
+  AAC_CHECK(victim_class >= 0 && victim_class < policy_->num_victim_classes());
+  auto& ring = rings_[static_cast<size_t>(victim_class)];
+  Entry entry;
+  entry.data = std::move(data);
+  entry.info = info;
+  entry.clock_value = policy_->ClockValue(info);
+  entry.victim_class = victim_class;
+  ring.push_back(key);
+  entry.ring_pos = std::prev(ring.end());
+  if (hands_[static_cast<size_t>(victim_class)] == ring.end()) {
+    hands_[static_cast<size_t>(victim_class)] = entry.ring_pos;
+  }
+  bytes_used_ += info.bytes;
+  class_bytes_[static_cast<size_t>(victim_class)] += info.bytes;
+  entries_.emplace(key, std::move(entry));
+  ++stats_.inserts;
+  for (CacheListener* l : listeners_) l->OnInsert(key);
+  return true;
+}
+
+bool ChunkCache::Remove(const CacheKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  AAC_CHECK_EQ(it->second.pin_count, 0);
+  EvictEntry(it);
+  return true;
+}
+
+void ChunkCache::Boost(const CacheKey& key, double amount) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  it->second.clock_value += amount;
+}
+
+void ChunkCache::Pin(const CacheKey& key) {
+  auto it = entries_.find(key);
+  AAC_CHECK(it != entries_.end());
+  ++it->second.pin_count;
+}
+
+void ChunkCache::Unpin(const CacheKey& key) {
+  auto it = entries_.find(key);
+  AAC_CHECK(it != entries_.end());
+  AAC_CHECK_GT(it->second.pin_count, 0);
+  --it->second.pin_count;
+}
+
+void ChunkCache::ForEach(
+    const std::function<void(const CacheEntryInfo&)>& fn) const {
+  for (const auto& [key, entry] : entries_) fn(entry.info);
+}
+
+bool ChunkCache::EvictFor(const CacheEntryInfo& incoming, int64_t needed) {
+  // Fast reject: not enough evictable bytes in the classes this chunk may
+  // replace — no point sweeping.
+  int64_t available = 0;
+  for (int victim_class = 0; victim_class < policy_->num_victim_classes();
+       ++victim_class) {
+    if (policy_->MayReplaceClass(incoming, victim_class)) {
+      available += class_bytes_[static_cast<size_t>(victim_class)];
+    }
+  }
+  if (available < needed) return false;
+
+  // Victims are taken class by class (the two-level policy evicts all
+  // cache-computed chunks before touching any backend chunk). Within a
+  // class, the weighted CLOCK decides.
+  int64_t freed = 0;
+  for (int victim_class = 0;
+       victim_class < policy_->num_victim_classes() && freed < needed;
+       ++victim_class) {
+    if (!policy_->MayReplaceClass(incoming, victim_class)) continue;
+    auto& ring = rings_[static_cast<size_t>(victim_class)];
+    auto& hand = hands_[static_cast<size_t>(victim_class)];
+    // Bound the sweep: with weights clamped to 32, every entry reaches zero
+    // within 32 full revolutions plus slack for boosts. A revolution that
+    // finds no eligible victim (all pinned / policy-protected) ends the
+    // class immediately.
+    int64_t budget = static_cast<int64_t>(ring.size()) * 64 + 64;
+    int64_t remaining_in_rev = static_cast<int64_t>(ring.size());
+    bool eligible_in_rev = false;
+    while (freed < needed && budget-- > 0 && !ring.empty()) {
+      if (hand == ring.end()) hand = ring.begin();
+      if (remaining_in_rev-- <= 0) {
+        if (!eligible_in_rev) break;
+        remaining_in_rev = static_cast<int64_t>(ring.size());
+        eligible_in_rev = false;
+      }
+      auto it = entries_.find(*hand);
+      AAC_CHECK(it != entries_.end());
+      Entry& entry = it->second;
+      if (entry.pin_count > 0 || !policy_->CanReplace(incoming, entry.info)) {
+        ++hand;
+        continue;
+      }
+      eligible_in_rev = true;
+      if (entry.clock_value <= 0.0) {
+        freed += entry.info.bytes;
+        EvictEntry(it);  // advances the hand past the victim
+        continue;
+      }
+      entry.clock_value -= 1.0;
+      ++hand;
+    }
+  }
+  return freed >= needed;
+}
+
+void ChunkCache::EvictEntry(
+    std::unordered_map<CacheKey, Entry, CacheKeyHash>::iterator it) {
+  const CacheKey key = it->first;
+  const auto victim_class = static_cast<size_t>(it->second.victim_class);
+  if (hands_[victim_class] == it->second.ring_pos) ++hands_[victim_class];
+  rings_[victim_class].erase(it->second.ring_pos);
+  bytes_used_ -= it->second.info.bytes;
+  class_bytes_[victim_class] -= it->second.info.bytes;
+  entries_.erase(it);
+  ++stats_.evictions;
+  for (CacheListener* l : listeners_) l->OnEvict(key);
+}
+
+}  // namespace aac

@@ -1,0 +1,123 @@
+#ifndef AAC_CACHE_CHUNK_CACHE_H_
+#define AAC_CACHE_CHUNK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "cache/replacement.h"
+#include "storage/chunk_data.h"
+
+namespace aac {
+
+/// Running totals of cache activity.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t rejected_inserts = 0;
+  int64_t evictions = 0;
+};
+
+/// Middle-tier chunk cache with weighted-CLOCK replacement.
+///
+/// Stores `ChunkData` keyed by (group-by, chunk number) under a byte
+/// capacity. Replacement approximates LRU with CLOCK: entries carry a clock
+/// value from the `ReplacementPolicy`; the sweeping hand decrements values
+/// and evicts non-pinned entries that reach zero, subject to the policy's
+/// class rules (two-level policy). Listeners observe inserts and evictions
+/// so the virtual-count strategies can maintain their summary state.
+///
+/// Entries can be *pinned* while a plan executor reads them, which exempts
+/// them from eviction; eviction mid-aggregation would invalidate the
+/// executor's pointers.
+class ChunkCache {
+ public:
+  /// `policy` must outlive the cache. `bytes_per_tuple` is the logical
+  /// accounting size of one cached tuple (paper: 20 bytes).
+  ChunkCache(int64_t capacity_bytes, int64_t bytes_per_tuple,
+             const ReplacementPolicy* policy);
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  /// Registers a membership observer; must outlive the cache.
+  void AddListener(CacheListener* listener);
+
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  int64_t bytes_used() const { return bytes_used_; }
+  int64_t bytes_per_tuple() const { return bytes_per_tuple_; }
+  size_t num_entries() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats(); }
+
+  /// True if the chunk is cached. Does not touch replacement state and does
+  /// not count as a hit or miss.
+  bool Contains(const CacheKey& key) const;
+
+  /// Returns the cached chunk and refreshes its clock value, or nullptr.
+  /// Counts a hit or miss. The pointer is valid until the next Insert or
+  /// Remove unless the entry is pinned.
+  const ChunkData* Get(const CacheKey& key);
+
+  /// Returns the cached chunk without touching replacement state or stats.
+  const ChunkData* Peek(const CacheKey& key) const;
+
+  /// Inserts a chunk with the given benefit and provenance. Returns false
+  /// if the chunk could not be admitted (larger than the whole cache, or
+  /// the policy forbids evicting enough victims). Inserting an existing key
+  /// refreshes its clock value and returns true.
+  bool Insert(ChunkData data, double benefit, ChunkSource source);
+
+  /// Removes a chunk; returns false if it was not cached.
+  bool Remove(const CacheKey& key);
+
+  /// Adds `amount` to the entry's clock value (the two-level policy boosts
+  /// every chunk of a group used to compute an aggregate, Section 6.3).
+  /// No-op if the key is not cached.
+  void Boost(const CacheKey& key, double amount);
+
+  /// Pins an entry against eviction (counted; must be balanced by Unpin).
+  void Pin(const CacheKey& key);
+  void Unpin(const CacheKey& key);
+
+  /// Calls `fn` for every entry, in unspecified order.
+  void ForEach(const std::function<void(const CacheEntryInfo&)>& fn) const;
+
+ private:
+  struct Entry {
+    ChunkData data;
+    CacheEntryInfo info;
+    double clock_value = 0.0;
+    int32_t pin_count = 0;
+    int32_t victim_class = 0;
+    std::list<CacheKey>::iterator ring_pos;
+  };
+
+  /// Frees at least `needed` bytes by sweeping the per-class clock rings;
+  /// returns true on success. Entries the policy refuses to replace or that
+  /// are pinned are skipped (without decrement).
+  bool EvictFor(const CacheEntryInfo& incoming, int64_t needed);
+
+  void EvictEntry(std::unordered_map<CacheKey, Entry, CacheKeyHash>::iterator it);
+
+  int64_t capacity_bytes_;
+  int64_t bytes_per_tuple_;
+  const ReplacementPolicy* policy_;
+  std::vector<CacheListener*> listeners_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+  // One CLOCK ring + hand per victim class, so a class-targeted sweep never
+  // walks entries of protected classes.
+  std::vector<std::list<CacheKey>> rings_;
+  std::vector<std::list<CacheKey>::iterator> hands_;
+  int64_t bytes_used_ = 0;
+  std::vector<int64_t> class_bytes_;  // bytes per victim class
+  CacheStats stats_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CACHE_CHUNK_CACHE_H_

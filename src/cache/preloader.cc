@@ -1,0 +1,60 @@
+#include "cache/preloader.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+Preloader::Preloader(const ChunkSizeModel* size_model,
+                     const BenefitModel* benefit)
+    : size_model_(size_model), benefit_(benefit) {
+  AAC_CHECK(size_model != nullptr);
+  AAC_CHECK(benefit != nullptr);
+}
+
+GroupById Preloader::ChooseGroupBy(int64_t capacity_bytes) const {
+  const Lattice& lattice = size_model_->grid()->lattice();
+  GroupById best = -1;
+  int64_t best_descendants = -1;
+  int64_t best_bytes = 0;
+  for (GroupById gb = 0; gb < lattice.num_groupbys(); ++gb) {
+    const int64_t bytes = size_model_->ExpectedGroupByBytes(gb);
+    if (bytes > capacity_bytes) continue;
+    const int64_t descendants = lattice.NumDescendants(gb);
+    if (descendants > best_descendants ||
+        (descendants == best_descendants && bytes < best_bytes)) {
+      best = gb;
+      best_descendants = descendants;
+      best_bytes = bytes;
+    }
+  }
+  return best;
+}
+
+PreloadResult Preloader::Preload(ChunkCache* cache,
+                                 BackendServer* backend) const {
+  AAC_CHECK(cache != nullptr);
+  AAC_CHECK(backend != nullptr);
+  PreloadResult result;
+  result.gb = ChooseGroupBy(cache->capacity_bytes());
+  if (result.gb < 0) return result;
+
+  const ChunkGrid& grid = *size_model_->grid();
+  std::vector<ChunkId> chunks;
+  chunks.reserve(static_cast<size_t>(grid.NumChunks(result.gb)));
+  for (ChunkId c = 0; c < grid.NumChunks(result.gb); ++c) chunks.push_back(c);
+
+  std::vector<ChunkData> data = backend->ExecuteChunkQuery(result.gb, chunks);
+  for (ChunkData& chunk : data) {
+    const ChunkId id = chunk.chunk;
+    const int64_t tuples = chunk.tuple_count();
+    if (cache->Insert(std::move(chunk),
+                      benefit_->BackendChunkBenefit(result.gb, id),
+                      ChunkSource::kBackend)) {
+      ++result.chunks_loaded;
+      result.tuples_loaded += tuples;
+    }
+  }
+  return result;
+}
+
+}  // namespace aac

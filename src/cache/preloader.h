@@ -1,0 +1,46 @@
+#ifndef AAC_CACHE_PRELOADER_H_
+#define AAC_CACHE_PRELOADER_H_
+
+#include <cstdint>
+
+#include "backend/backend.h"
+#include "cache/benefit.h"
+#include "cache/chunk_cache.h"
+#include "chunks/chunk_size_model.h"
+
+namespace aac {
+
+/// Outcome of a cache preload.
+struct PreloadResult {
+  GroupById gb = -1;
+  int64_t chunks_loaded = 0;
+  int64_t tuples_loaded = 0;
+};
+
+/// Implements the third rule of the paper's two-level policy (Section 6.3):
+/// pre-load the cache with the group-by that fits in the cache and has the
+/// maximum number of lattice descendants, so that any query on a descendant
+/// group-by can be answered by aggregation.
+class Preloader {
+ public:
+  /// All pointers must outlive the preloader.
+  Preloader(const ChunkSizeModel* size_model, const BenefitModel* benefit);
+
+  /// The group-by with the most descendants whose estimated size fits in
+  /// `capacity_bytes`; ties broken toward the smaller estimated size.
+  /// Returns -1 if no group-by fits.
+  GroupById ChooseGroupBy(int64_t capacity_bytes) const;
+
+  /// Fetches every chunk of ChooseGroupBy() from the backend into the cache
+  /// (as backend-sourced chunks). Returns what was loaded; gb is -1 if
+  /// nothing fit.
+  PreloadResult Preload(ChunkCache* cache, BackendServer* backend) const;
+
+ private:
+  const ChunkSizeModel* size_model_;
+  const BenefitModel* benefit_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CACHE_PRELOADER_H_

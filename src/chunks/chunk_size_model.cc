@@ -1,0 +1,58 @@
+#include "chunks/chunk_size_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aac {
+
+ChunkSizeModel::ChunkSizeModel(const ChunkGrid* grid, int64_t num_base_tuples,
+                               int64_t bytes_per_tuple)
+    : grid_(grid),
+      num_base_tuples_(num_base_tuples),
+      bytes_per_tuple_(bytes_per_tuple) {
+  AAC_CHECK(grid_ != nullptr);
+  AAC_CHECK_GE(num_base_tuples, 0);
+  AAC_CHECK_GT(bytes_per_tuple, 0);
+  const auto base_cells = static_cast<double>(
+      grid_->schema().NumCells(grid_->schema().base_level()));
+  base_cell_density_ =
+      std::min(1.0, static_cast<double>(num_base_tuples) / base_cells);
+
+  // Precompute occupancy per group-by: the cost-based strategies query it on
+  // every count/cost maintenance step.
+  const Lattice& lattice = grid_->lattice();
+  occupancy_.resize(static_cast<size_t>(lattice.num_groupbys()));
+  for (GroupById gb = 0; gb < lattice.num_groupbys(); ++gb) {
+    const double cells = static_cast<double>(
+        grid_->schema().NumCells(lattice.LevelOf(gb)));
+    const double k = base_cells / cells;  // base cells aggregated per cell
+    // 1 - (1 - p)^k, computed stably.
+    occupancy_[static_cast<size_t>(gb)] =
+        -std::expm1(k * std::log1p(-base_cell_density_));
+  }
+}
+
+double ChunkSizeModel::Occupancy(GroupById gb) const {
+  AAC_CHECK(gb >= 0 &&
+            gb < static_cast<GroupById>(occupancy_.size()));
+  return occupancy_[static_cast<size_t>(gb)];
+}
+
+double ChunkSizeModel::ExpectedChunkTuples(GroupById gb, ChunkId chunk) const {
+  return static_cast<double>(grid_->CellsInChunk(gb, chunk)) * Occupancy(gb);
+}
+
+double ChunkSizeModel::ExpectedGroupByTuples(GroupById gb) const {
+  const double cells = static_cast<double>(
+      grid_->schema().NumCells(grid_->lattice().LevelOf(gb)));
+  return cells * Occupancy(gb);
+}
+
+int64_t ChunkSizeModel::ExpectedGroupByBytes(GroupById gb) const {
+  return static_cast<int64_t>(ExpectedGroupByTuples(gb) *
+                              static_cast<double>(bytes_per_tuple_));
+}
+
+}  // namespace aac

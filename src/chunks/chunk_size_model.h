@@ -1,0 +1,63 @@
+#ifndef AAC_CHUNKS_CHUNK_SIZE_MODEL_H_
+#define AAC_CHUNKS_CHUNK_SIZE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chunks/chunk_grid.h"
+
+namespace aac {
+
+/// Analytic estimator of chunk and group-by sizes (tuples and bytes).
+///
+/// The cost-based strategies (ESMC, VCMC) assume a linear aggregation cost —
+/// proportional to the number of tuples aggregated (paper Section 5, after
+/// [HRU96][SDN98]) — so they need per-chunk tuple counts without touching
+/// the data. Like the paper, we use estimates: if the base table holds N
+/// tuples over C base cells, a cell at an aggregated level that covers k
+/// base cells is occupied with probability 1 - (1 - N/C)^k, and a chunk's
+/// expected tuple count is its cell count times that occupancy. The same
+/// model sizes whole group-bys for the preloader and the replacement
+/// policies' benefit metric.
+class ChunkSizeModel {
+ public:
+  /// `grid` must outlive the model. `num_base_tuples` is the (distinct-cell)
+  /// size of the fact table; `bytes_per_tuple` is the accounting size used
+  /// for cache-capacity math (the paper's fact tuples were 20 bytes).
+  ChunkSizeModel(const ChunkGrid* grid, int64_t num_base_tuples,
+                 int64_t bytes_per_tuple = 20);
+
+  virtual ~ChunkSizeModel() = default;
+
+  const ChunkGrid* grid() const { return grid_; }
+  int64_t num_base_tuples() const { return num_base_tuples_; }
+  int64_t bytes_per_tuple() const { return bytes_per_tuple_; }
+
+  /// Expected tuples per base cell, N / C clamped to [0, 1].
+  double base_density() const { return base_cell_density_; }
+
+  /// Probability that a cell of `gb` holds at least one tuple.
+  double Occupancy(GroupById gb) const;
+
+  /// Expected tuples in `chunk` of `gb`. Virtual so a measured model (exact
+  /// per-chunk counts from the fact table) can stand in; see
+  /// storage/measured_size_model.h.
+  virtual double ExpectedChunkTuples(GroupById gb, ChunkId chunk) const;
+
+  /// Expected tuples in all of group-by `gb`.
+  virtual double ExpectedGroupByTuples(GroupById gb) const;
+
+  /// Expected bytes of group-by `gb` (tuples x bytes_per_tuple).
+  int64_t ExpectedGroupByBytes(GroupById gb) const;
+
+ private:
+  const ChunkGrid* grid_;
+  int64_t num_base_tuples_;
+  int64_t bytes_per_tuple_;
+  double base_cell_density_;        // N / C, clamped to [0, 1]
+  std::vector<double> occupancy_;   // per group-by, precomputed
+};
+
+}  // namespace aac
+
+#endif  // AAC_CHUNKS_CHUNK_SIZE_MODEL_H_

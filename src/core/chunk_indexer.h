@@ -1,0 +1,46 @@
+#ifndef AAC_CORE_CHUNK_INDEXER_H_
+#define AAC_CORE_CHUNK_INDEXER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chunks/chunk_grid.h"
+#include "util/check.h"
+
+namespace aac {
+
+/// Maps (group-by, chunk) pairs to dense indices into flat arrays covering
+/// every chunk at every lattice level — the layout of the virtual-count
+/// Count/Cost/BestParent arrays (paper Section 4, Table 3).
+class ChunkIndexer {
+ public:
+  /// `grid` must outlive the indexer.
+  explicit ChunkIndexer(const ChunkGrid* grid) : grid_(grid) {
+    AAC_CHECK(grid != nullptr);
+    const Lattice& lattice = grid->lattice();
+    offsets_.resize(static_cast<size_t>(lattice.num_groupbys()) + 1, 0);
+    for (GroupById gb = 0; gb < lattice.num_groupbys(); ++gb) {
+      offsets_[static_cast<size_t>(gb) + 1] =
+          offsets_[static_cast<size_t>(gb)] + grid->NumChunks(gb);
+    }
+  }
+
+  const ChunkGrid& grid() const { return *grid_; }
+
+  /// Total entries (chunks over all group-bys).
+  int64_t size() const { return offsets_.back(); }
+
+  /// Flat index of (gb, chunk).
+  int64_t IndexOf(GroupById gb, ChunkId chunk) const {
+    AAC_DCHECK(chunk >= 0 && chunk < grid_->NumChunks(gb));
+    return offsets_[static_cast<size_t>(gb)] + chunk;
+  }
+
+ private:
+  const ChunkGrid* grid_;
+  std::vector<int64_t> offsets_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_CHUNK_INDEXER_H_

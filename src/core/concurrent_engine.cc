@@ -1,0 +1,24 @@
+#include "core/concurrent_engine.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+ConcurrentQueryEngine::ConcurrentQueryEngine(QueryEngine* engine)
+    : engine_(engine) {
+  AAC_CHECK(engine != nullptr);
+}
+
+std::vector<ChunkData> ConcurrentQueryEngine::ExecuteQuery(const Query& query,
+                                                           QueryStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++queries_executed_;
+  return engine_->ExecuteQuery(query, stats);
+}
+
+int64_t ConcurrentQueryEngine::queries_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queries_executed_;
+}
+
+}  // namespace aac

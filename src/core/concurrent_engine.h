@@ -1,0 +1,45 @@
+#ifndef AAC_CORE_CONCURRENT_ENGINE_H_
+#define AAC_CORE_CONCURRENT_ENGINE_H_
+
+#include <mutex>
+#include <vector>
+
+#include "core/query_engine.h"
+
+namespace aac {
+
+/// Thread-safe facade over a QueryEngine.
+///
+/// The paper's middle tier is single-threaded, and so are this library's
+/// core structures (the cache mutates on every query: clock values, counts,
+/// cost arrays). This facade serializes whole queries behind one mutex —
+/// coarse, but correct and honest about it: in-cache work is microseconds,
+/// so a single lock sustains tens of thousands of cache-answered queries
+/// per second, and concurrent clients mainly overlap while *waiting* on
+/// backend latency, which here is charged to a simulated clock anyway.
+/// Finer-grained sharding (per-group-by locks, lock-free counts) is the
+/// natural next step and is deliberately out of scope.
+class ConcurrentQueryEngine {
+ public:
+  /// `engine` must outlive this facade.
+  explicit ConcurrentQueryEngine(QueryEngine* engine);
+
+  ConcurrentQueryEngine(const ConcurrentQueryEngine&) = delete;
+  ConcurrentQueryEngine& operator=(const ConcurrentQueryEngine&) = delete;
+
+  /// Thread-safe ExecuteQuery; per-call stats are returned as with the
+  /// underlying engine.
+  std::vector<ChunkData> ExecuteQuery(const Query& query, QueryStats* stats);
+
+  /// Queries executed so far (thread-safe).
+  int64_t queries_executed() const;
+
+ private:
+  QueryEngine* engine_;
+  mutable std::mutex mutex_;
+  int64_t queries_executed_ = 0;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_CONCURRENT_ENGINE_H_

@@ -1,0 +1,72 @@
+#include "core/esm.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+EsmStrategy::EsmStrategy(const ChunkGrid* grid, const ChunkCache* cache)
+    : grid_(grid), cache_(cache) {
+  AAC_CHECK(grid != nullptr);
+  AAC_CHECK(cache != nullptr);
+}
+
+bool EsmStrategy::IsComputable(GroupById gb, ChunkId chunk) {
+  return Search(gb, chunk);
+}
+
+// Algorithm ESM from the paper: cache lookup, then try every parent
+// group-by; a parent succeeds if all of its covering chunks are recursively
+// computable. Quits at the first successful path.
+bool EsmStrategy::Search(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  if (cache_->Contains({gb, chunk})) return true;
+  const Lattice& lattice = grid_->lattice();
+  for (GroupById parent : lattice.Parents(gb)) {
+    const bool success = grid_->ForEachParentChunk(
+        gb, chunk, parent, [&](ChunkId pc) { return Search(parent, pc); });
+    if (success) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<PlanNode> EsmStrategy::BuildPlan(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  if (cache_->Contains({gb, chunk})) {
+    auto leaf = std::make_unique<PlanNode>();
+    leaf->key = {gb, chunk};
+    leaf->cached = true;
+    return leaf;
+  }
+  const Lattice& lattice = grid_->lattice();
+  for (GroupById parent : lattice.Parents(gb)) {
+    std::vector<std::unique_ptr<PlanNode>> inputs;
+    bool success = true;
+    double cost = 0.0;
+    for (ChunkId pc : grid_->ParentChunkNumbers(gb, chunk, parent)) {
+      std::unique_ptr<PlanNode> input = BuildPlan(parent, pc);
+      if (input == nullptr) {
+        success = false;
+        break;
+      }
+      cost += input->estimated_cost;
+      const ChunkData* cached = cache_->Peek(input->key);
+      cost += cached != nullptr ? static_cast<double>(cached->tuple_count())
+                                : 0.0;
+      inputs.push_back(std::move(input));
+    }
+    if (!success) continue;
+    auto node = std::make_unique<PlanNode>();
+    node->key = {gb, chunk};
+    node->source_gb = parent;
+    node->inputs = std::move(inputs);
+    node->estimated_cost = cost;
+    return node;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<PlanNode> EsmStrategy::FindPlan(GroupById gb, ChunkId chunk) {
+  return BuildPlan(gb, chunk);
+}
+
+}  // namespace aac

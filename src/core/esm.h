@@ -1,0 +1,38 @@
+#ifndef AAC_CORE_ESM_H_
+#define AAC_CORE_ESM_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/chunk_cache.h"
+#include "core/strategy.h"
+
+namespace aac {
+
+/// Exhaustive Search Method (paper Section 3.1).
+///
+/// Determines computability by recursively searching every lattice path from
+/// the probed group-by toward the base table, stopping at the first
+/// successful path. Keeps no summary state, so inserts and evictions cost
+/// nothing — but a lookup can visit a factorial number of paths (Lemma 1),
+/// which is exactly the behaviour Table 1 measures.
+class EsmStrategy : public LookupStrategy {
+ public:
+  /// `grid` and `cache` must outlive the strategy.
+  EsmStrategy(const ChunkGrid* grid, const ChunkCache* cache);
+
+  std::string name() const override { return "ESM"; }
+  bool IsComputable(GroupById gb, ChunkId chunk) override;
+  std::unique_ptr<PlanNode> FindPlan(GroupById gb, ChunkId chunk) override;
+
+ private:
+  bool Search(GroupById gb, ChunkId chunk);
+  std::unique_ptr<PlanNode> BuildPlan(GroupById gb, ChunkId chunk);
+
+  const ChunkGrid* grid_;
+  const ChunkCache* cache_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_ESM_H_

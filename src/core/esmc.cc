@@ -1,0 +1,94 @@
+#include "core/esmc.h"
+
+#include <limits>
+
+#include "core/esm.h"
+#include "util/check.h"
+
+namespace aac {
+
+EsmcStrategy::EsmcStrategy(const ChunkGrid* grid, const ChunkCache* cache,
+                           const ChunkSizeModel* size_model,
+                           int64_t visit_budget)
+    : grid_(grid),
+      cache_(cache),
+      size_model_(size_model),
+      visit_budget_(visit_budget) {
+  AAC_CHECK(grid != nullptr);
+  AAC_CHECK(cache != nullptr);
+  AAC_CHECK(size_model != nullptr);
+  AAC_CHECK_GT(visit_budget, 0);
+}
+
+bool EsmcStrategy::IsComputable(GroupById gb, ChunkId chunk) {
+  // Computability does not depend on costs; reuse the first-path search but
+  // keep exhaustive accounting (ESMC's find must still enumerate paths, so
+  // IsComputable alone uses the cheap variant — the expensive part is
+  // FindPlan).
+  EsmStrategy esm(grid_, cache_);
+  const bool ok = esm.IsComputable(gb, chunk);
+  metrics_.nodes_visited += esm.metrics().nodes_visited;
+  return ok;
+}
+
+std::unique_ptr<PlanNode> EsmcStrategy::SearchMinCost(GroupById gb,
+                                                      ChunkId chunk,
+                                                      int64_t* budget) {
+  ++metrics_.nodes_visited;
+  if (--*budget <= 0) {
+    ++metrics_.budget_exhausted;
+    return nullptr;
+  }
+  if (cache_->Contains({gb, chunk})) {
+    auto leaf = std::make_unique<PlanNode>();
+    leaf->key = {gb, chunk};
+    leaf->cached = true;
+    leaf->estimated_cost = 0.0;
+    return leaf;
+  }
+  const Lattice& lattice = grid_->lattice();
+  std::unique_ptr<PlanNode> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (GroupById parent : lattice.Parents(gb)) {
+    std::vector<std::unique_ptr<PlanNode>> inputs;
+    bool success = true;
+    double cost = 0.0;
+    for (ChunkId pc : grid_->ParentChunkNumbers(gb, chunk, parent)) {
+      std::unique_ptr<PlanNode> input = SearchMinCost(parent, pc, budget);
+      if (input == nullptr) {
+        success = false;
+        break;
+      }
+      // Materializing the input costs its own plan, then its tuples are
+      // read again by this aggregation step.
+      cost += input->estimated_cost +
+              size_model_->ExpectedChunkTuples(parent, pc);
+      inputs.push_back(std::move(input));
+    }
+    if (*budget <= 0) break;
+    if (!success || cost >= best_cost) continue;
+    auto node = std::make_unique<PlanNode>();
+    node->key = {gb, chunk};
+    node->source_gb = parent;
+    node->inputs = std::move(inputs);
+    node->estimated_cost = cost;
+    best = std::move(node);
+    best_cost = cost;
+  }
+  return best;
+}
+
+std::unique_ptr<PlanNode> EsmcStrategy::FindPlan(GroupById gb, ChunkId chunk) {
+  int64_t budget = visit_budget_;
+  std::unique_ptr<PlanNode> plan = SearchMinCost(gb, chunk, &budget);
+  if (plan != nullptr) return plan;
+  if (budget <= 0) {
+    // Budget ran out: fall back to the first successful path so the query
+    // can still be answered from the cache.
+    EsmStrategy esm(grid_, cache_);
+    return esm.FindPlan(gb, chunk);
+  }
+  return nullptr;
+}
+
+}  // namespace aac

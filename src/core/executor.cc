@@ -1,0 +1,59 @@
+#include "core/executor.h"
+
+#include <deque>
+
+#include "util/check.h"
+
+namespace aac {
+
+PlanExecutor::PlanExecutor(const ChunkGrid* grid, ChunkCache* cache,
+                           Aggregator* aggregator)
+    : grid_(grid), cache_(cache), aggregator_(aggregator) {
+  AAC_CHECK(grid != nullptr);
+  AAC_CHECK(cache != nullptr);
+  AAC_CHECK(aggregator != nullptr);
+}
+
+ExecutionResult PlanExecutor::Execute(const PlanNode& plan) {
+  ExecutionResult result;
+  const int64_t before = aggregator_->tuples_processed();
+  result.data = ExecuteNode(plan, &result);
+  result.tuples_aggregated = aggregator_->tuples_processed() - before;
+  return result;
+}
+
+ChunkData PlanExecutor::ExecuteNode(const PlanNode& node,
+                                    ExecutionResult* result) {
+  if (node.cached) {
+    const ChunkData* cached = cache_->Get(node.key);
+    AAC_CHECK(cached != nullptr);  // plans are built against cache contents
+    result->cached_inputs.push_back(node.key);
+    return *cached;  // root-level cached chunk: hand back a copy
+  }
+
+  // Materialize inputs: cached ones are read in place (pinned), computed
+  // ones recurse. std::deque keeps owned chunk addresses stable.
+  std::deque<ChunkData> owned;
+  std::vector<const ChunkData*> sources;
+  std::vector<CacheKey> pinned;
+  sources.reserve(node.inputs.size());
+  for (const auto& input : node.inputs) {
+    if (input->cached) {
+      const ChunkData* cached = cache_->Get(input->key);
+      AAC_CHECK(cached != nullptr);
+      cache_->Pin(input->key);
+      pinned.push_back(input->key);
+      result->cached_inputs.push_back(input->key);
+      sources.push_back(cached);
+    } else {
+      owned.push_back(ExecuteNode(*input, result));
+      sources.push_back(&owned.back());
+    }
+  }
+  ChunkData out = aggregator_->Aggregate(node.source_gb, sources, node.key.gb,
+                                         node.key.chunk);
+  for (const CacheKey& key : pinned) cache_->Unpin(key);
+  return out;
+}
+
+}  // namespace aac

@@ -1,0 +1,49 @@
+#ifndef AAC_CORE_EXECUTOR_H_
+#define AAC_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "cache/chunk_cache.h"
+#include "core/plan.h"
+#include "storage/aggregator.h"
+
+namespace aac {
+
+/// Result of executing one aggregation plan.
+struct ExecutionResult {
+  ChunkData data;
+
+  /// Source tuples folded by all aggregation steps of the plan — the actual
+  /// (not estimated) linear aggregation cost.
+  int64_t tuples_aggregated = 0;
+
+  /// The distinct cached chunks the plan read; the two-level policy boosts
+  /// this group's clock values (paper Section 6.3, rule 2).
+  std::vector<CacheKey> cached_inputs;
+};
+
+/// Executes aggregation plans against the cache.
+///
+/// Cached leaves are read in place (pinned for the duration of the
+/// execution, so an unrelated eviction cannot invalidate them); inner nodes
+/// aggregate bottom-up through the Aggregator.
+class PlanExecutor {
+ public:
+  /// All pointers must outlive the executor.
+  PlanExecutor(const ChunkGrid* grid, ChunkCache* cache,
+               Aggregator* aggregator);
+
+  /// Materializes the plan's root chunk.
+  ExecutionResult Execute(const PlanNode& plan);
+
+ private:
+  ChunkData ExecuteNode(const PlanNode& node, ExecutionResult* result);
+
+  const ChunkGrid* grid_;
+  ChunkCache* cache_;
+  Aggregator* aggregator_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_EXECUTOR_H_

@@ -1,0 +1,38 @@
+#include "core/invalidation.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+CacheInvalidator::CacheInvalidator(const ChunkGrid* grid, ChunkCache* cache)
+    : grid_(grid), cache_(cache) {
+  AAC_CHECK(grid != nullptr);
+  AAC_CHECK(cache != nullptr);
+}
+
+int64_t CacheInvalidator::InvalidateForBaseChunks(
+    std::span<const ChunkId> base_chunks) {
+  const Lattice& lattice = grid_->lattice();
+  const GroupById base = lattice.base_id();
+  int64_t dropped = 0;
+  for (ChunkId base_chunk : base_chunks) {
+    for (GroupById gb = 0; gb < lattice.num_groupbys(); ++gb) {
+      const ChunkId affected =
+          grid_->ChildChunkNumber(base, base_chunk, gb);
+      if (cache_->Remove({gb, affected})) ++dropped;
+    }
+  }
+  return dropped;
+}
+
+int64_t ApplyFactUpdates(FactTable* table, ChunkCache* cache,
+                         std::vector<Cell> new_tuples) {
+  AAC_CHECK(table != nullptr);
+  AAC_CHECK(cache != nullptr);
+  const std::vector<ChunkId> affected =
+      table->ApplyInserts(std::move(new_tuples));
+  CacheInvalidator invalidator(&table->grid(), cache);
+  return invalidator.InvalidateForBaseChunks(affected);
+}
+
+}  // namespace aac

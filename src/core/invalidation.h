@@ -1,0 +1,46 @@
+#ifndef AAC_CORE_INVALIDATION_H_
+#define AAC_CORE_INVALIDATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/chunk_cache.h"
+#include "chunks/chunk_grid.h"
+#include "storage/fact_table.h"
+
+namespace aac {
+
+/// Cache-coherence for a changing fact table (an extension beyond the
+/// paper, which assumed static data).
+///
+/// When base chunks change, every cached chunk — at any group-by level —
+/// whose base region covers one of them is stale and must leave the cache.
+/// The closure property makes the affected set cheap to compute: an updated
+/// base chunk maps to exactly one chunk per group-by (GetChildChunkNumber),
+/// so invalidation costs O(changed base chunks x lattice nodes) regardless
+/// of data size. Count/cost maintenance (VCM/VCMC) rides along through the
+/// cache's eviction listeners.
+class CacheInvalidator {
+ public:
+  /// `grid` and `cache` must outlive the invalidator.
+  CacheInvalidator(const ChunkGrid* grid, ChunkCache* cache);
+
+  /// Removes every cached chunk derived from any of `base_chunks`.
+  /// Returns the number of cache entries dropped.
+  int64_t InvalidateForBaseChunks(std::span<const ChunkId> base_chunks);
+
+ private:
+  const ChunkGrid* grid_;
+  ChunkCache* cache_;
+};
+
+/// Applies a batch of new fact tuples to `table` and invalidates the
+/// affected cached chunks: the full middle-tier update protocol. Returns
+/// the number of cache entries dropped.
+int64_t ApplyFactUpdates(FactTable* table, ChunkCache* cache,
+                         std::vector<Cell> new_tuples);
+
+}  // namespace aac
+
+#endif  // AAC_CORE_INVALIDATION_H_

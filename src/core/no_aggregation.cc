@@ -1,0 +1,27 @@
+#include "core/no_aggregation.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+NoAggregationStrategy::NoAggregationStrategy(const ChunkCache* cache)
+    : cache_(cache) {
+  AAC_CHECK(cache != nullptr);
+}
+
+bool NoAggregationStrategy::IsComputable(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  return cache_->Contains({gb, chunk});
+}
+
+std::unique_ptr<PlanNode> NoAggregationStrategy::FindPlan(GroupById gb,
+                                                          ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  if (!cache_->Contains({gb, chunk})) return nullptr;
+  auto node = std::make_unique<PlanNode>();
+  node->key = {gb, chunk};
+  node->cached = true;
+  return node;
+}
+
+}  // namespace aac

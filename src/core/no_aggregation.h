@@ -1,0 +1,30 @@
+#ifndef AAC_CORE_NO_AGGREGATION_H_
+#define AAC_CORE_NO_AGGREGATION_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/chunk_cache.h"
+#include "core/strategy.h"
+
+namespace aac {
+
+/// The conventional-cache baseline: a chunk is answerable only if the exact
+/// chunk is present. This is the "no aggregation" configuration of the
+/// paper's Figure 9 comparison; everything else becomes a backend miss.
+class NoAggregationStrategy : public LookupStrategy {
+ public:
+  /// `cache` must outlive the strategy.
+  explicit NoAggregationStrategy(const ChunkCache* cache);
+
+  std::string name() const override { return "NoAgg"; }
+  bool IsComputable(GroupById gb, ChunkId chunk) override;
+  std::unique_ptr<PlanNode> FindPlan(GroupById gb, ChunkId chunk) override;
+
+ private:
+  const ChunkCache* cache_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_NO_AGGREGATION_H_

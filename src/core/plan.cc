@@ -1,0 +1,25 @@
+#include "core/plan.h"
+
+namespace aac {
+
+std::string PlanNode::ToString(const Lattice& lattice, int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += lattice.LevelOf(key.gb).ToString();
+  out += "#";
+  out += std::to_string(key.chunk);
+  if (cached) {
+    out += " [cached]\n";
+    return out;
+  }
+  out += " <- ";
+  out += lattice.LevelOf(source_gb).ToString();
+  out += " cost=";
+  out += std::to_string(estimated_cost);
+  out += "\n";
+  for (const auto& input : inputs) {
+    out += input->ToString(lattice, indent + 1);
+  }
+  return out;
+}
+
+}  // namespace aac

@@ -1,0 +1,53 @@
+#ifndef AAC_CORE_PLAN_H_
+#define AAC_CORE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "chunks/chunk_grid.h"
+
+namespace aac {
+
+/// One step of an aggregation plan: how to materialize a single chunk.
+///
+/// A node either reads its chunk directly from the cache (`cached == true`,
+/// a leaf) or aggregates the chunks of one lattice parent group-by
+/// (`source_gb`), each materialized by a child node. Plans are trees: sibling
+/// inputs cover disjoint chunk regions, so no sharing arises within a plan.
+struct PlanNode {
+  CacheKey key;
+  bool cached = false;
+
+  /// Group-by the inputs live at; -1 for cached leaves.
+  GroupById source_gb = -1;
+  std::vector<std::unique_ptr<PlanNode>> inputs;
+
+  /// Estimated tuples aggregated to materialize this chunk (0 for cached
+  /// leaves), using the linear cost model of paper Section 5.
+  double estimated_cost = 0.0;
+
+  /// Number of nodes in the subtree (for diagnostics).
+  int64_t NodeCount() const {
+    int64_t n = 1;
+    for (const auto& input : inputs) n += input->NodeCount();
+    return n;
+  }
+
+  /// Number of distinct cached chunks read by the subtree.
+  int64_t LeafCount() const {
+    if (cached) return 1;
+    int64_t n = 0;
+    for (const auto& input : inputs) n += input->LeafCount();
+    return n;
+  }
+
+  /// "(0,2,0)#3 <- (1,2,0)[...]" rendering for debugging.
+  std::string ToString(const Lattice& lattice, int indent = 0) const;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_PLAN_H_

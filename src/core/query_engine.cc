@@ -1,0 +1,202 @@
+#include "core/query_engine.h"
+
+#include <utility>
+
+#include "cache/replacement.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace aac {
+
+QueryEngine::QueryEngine(const ChunkGrid* grid, ChunkCache* cache,
+                         LookupStrategy* strategy, BackendServer* backend,
+                         const BenefitModel* benefit, SimClock* sim_clock,
+                         Config config)
+    : grid_(grid),
+      cache_(cache),
+      strategy_(strategy),
+      backend_(backend),
+      benefit_(benefit),
+      sim_clock_(sim_clock),
+      config_(config),
+      aggregator_(grid),
+      executor_(grid, cache, &aggregator_) {
+  AAC_CHECK(grid != nullptr);
+  AAC_CHECK(cache != nullptr);
+  AAC_CHECK(strategy != nullptr);
+  AAC_CHECK(backend != nullptr);
+  AAC_CHECK(benefit != nullptr);
+  AAC_CHECK(sim_clock != nullptr);
+}
+
+std::string QueryEngine::ExplainQuery(const Query& query) {
+  const GroupById gb = grid_->lattice().IdOf(query.level);
+  const std::vector<ChunkId> chunks = ChunksForQuery(*grid_, query);
+  std::string out = "query ";
+  out += query.ToString(grid_->schema());
+  out += " -> ";
+  out += std::to_string(chunks.size());
+  out += " chunk(s) at ";
+  out += query.level.ToString();
+  out += " [strategy: ";
+  out += strategy_->name();
+  out += "]\n";
+  for (ChunkId chunk : chunks) {
+    std::unique_ptr<PlanNode> plan = strategy_->FindPlan(gb, chunk);
+    out += "  chunk ";
+    out += std::to_string(chunk);
+    out += ": ";
+    if (plan == nullptr) {
+      out += "MISS -> backend\n";
+      continue;
+    }
+    if (plan->cached) {
+      out += "direct cache hit\n";
+      continue;
+    }
+    if (config_.cost_based_bypass) {
+      const double cache_ns =
+          plan->estimated_cost * config_.cache_aggregation_ns_per_tuple;
+      const double backend_ns = static_cast<double>(
+          backend_->EstimateMarginalChunkCostNanos(gb, chunk));
+      if (backend_ns < cache_ns) {
+        out += "computable (est ";
+        out += std::to_string(static_cast<int64_t>(plan->estimated_cost));
+        out += " tuples) but BYPASSED -> backend\n";
+        continue;
+      }
+    }
+    out += "aggregate ";
+    out += std::to_string(plan->LeafCount());
+    out += " cached chunk(s), est ";
+    out += std::to_string(static_cast<int64_t>(plan->estimated_cost));
+    out += " tuples:\n";
+    out += plan->ToString(grid_->lattice(), /*indent=*/2);
+  }
+  return out;
+}
+
+std::vector<ChunkData> QueryEngine::ExecuteQuery(const Query& query,
+                                                 QueryStats* stats) {
+  QueryStats local;
+  QueryStats& s = stats != nullptr ? *stats : local;
+  s = QueryStats();
+
+  const GroupById gb = grid_->lattice().IdOf(query.level);
+  const std::vector<ChunkId> chunks = ChunksForQuery(*grid_, query);
+  s.chunks_requested = static_cast<int64_t>(chunks.size());
+
+  // --- Lookup phase: probe the strategy for every chunk. ---
+  Stopwatch lookup_timer;
+  std::vector<std::unique_ptr<PlanNode>> plans;
+  std::vector<ChunkId> missing;
+  plans.reserve(chunks.size());
+  for (ChunkId chunk : chunks) {
+    std::unique_ptr<PlanNode> plan = strategy_->FindPlan(gb, chunk);
+    if (plan == nullptr) {
+      missing.push_back(chunk);
+    } else {
+      plans.push_back(std::move(plan));
+    }
+  }
+
+  // Cost-based bypass (paper Section 5.2): a computable chunk whose
+  // estimated aggregation time exceeds the backend's marginal cost joins
+  // the backend query instead. The per-query fixed overhead is charged to
+  // the first bypassed chunk only when no chunk is missing anyway.
+  if (config_.cost_based_bypass) {
+    std::vector<std::unique_ptr<PlanNode>> kept;
+    kept.reserve(plans.size());
+    for (auto& plan : plans) {
+      if (plan->cached) {
+        kept.push_back(std::move(plan));
+        continue;
+      }
+      const double cache_ns =
+          plan->estimated_cost * config_.cache_aggregation_ns_per_tuple;
+      double backend_ns = static_cast<double>(
+          backend_->EstimateMarginalChunkCostNanos(gb, plan->key.chunk));
+      if (missing.empty()) {
+        backend_ns += static_cast<double>(
+            backend_->cost_model().fixed_query_overhead_ns);
+      }
+      if (backend_ns < cache_ns) {
+        missing.push_back(plan->key.chunk);
+        ++s.chunks_bypassed;
+      } else {
+        kept.push_back(std::move(plan));
+      }
+    }
+    plans = std::move(kept);
+  }
+  s.lookup_ms = lookup_timer.ElapsedMillis();
+
+  // --- Aggregation phase: answer cached/computable chunks. ---
+  Stopwatch agg_timer;
+  std::vector<ChunkData> results;
+  results.reserve(chunks.size());
+  // (benefit, cached-group) per aggregated chunk, consumed by the update
+  // phase and the group-boost rule.
+  struct ComputedInfo {
+    size_t result_index;
+    int64_t tuples;
+    std::vector<CacheKey> group;
+  };
+  std::vector<ComputedInfo> computed;
+  for (const auto& plan : plans) {
+    if (plan->cached) {
+      const ChunkData* data = cache_->Get(plan->key);
+      AAC_CHECK(data != nullptr);
+      results.push_back(*data);
+      ++s.chunks_direct;
+      continue;
+    }
+    ExecutionResult exec = executor_.Execute(*plan);
+    s.tuples_aggregated += exec.tuples_aggregated;
+    computed.push_back(ComputedInfo{results.size(), exec.tuples_aggregated,
+                                    std::move(exec.cached_inputs)});
+    results.push_back(std::move(exec.data));
+    ++s.chunks_aggregated;
+  }
+  s.aggregation_ms = agg_timer.ElapsedMillis();
+
+  // --- Backend phase: one SQL query for all missing chunks. ---
+  std::vector<ChunkData> backend_results;
+  if (!missing.empty()) {
+    const int64_t sim_before = sim_clock_->TotalNanos();
+    backend_results = backend_->ExecuteChunkQuery(gb, missing);
+    s.backend_ms =
+        static_cast<double>(sim_clock_->TotalNanos() - sim_before) / 1e6;
+    s.chunks_backend = static_cast<int64_t>(backend_results.size());
+  }
+  s.complete_hit = missing.empty();
+
+  // --- Update phase: admit new chunks to the cache. ---
+  Stopwatch update_timer;
+  if (config_.cache_computed_results || config_.boost_groups) {
+    for (const ComputedInfo& info : computed) {
+      const double benefit = benefit_->CacheComputedChunkBenefit(
+          static_cast<double>(info.tuples));
+      if (config_.cache_computed_results) {
+        cache_->Insert(results[info.result_index], benefit,
+                       ChunkSource::kCacheComputed);
+      }
+      if (config_.boost_groups) {
+        const double boost = ReplacementPolicy::NormalizedWeight(benefit);
+        for (const CacheKey& key : info.group) cache_->Boost(key, boost);
+      }
+    }
+  }
+  if (config_.cache_backend_results) {
+    for (ChunkData& data : backend_results) {
+      const double benefit = benefit_->BackendChunkBenefit(gb, data.chunk);
+      cache_->Insert(data, benefit, ChunkSource::kBackend);
+    }
+  }
+  s.update_ms = update_timer.ElapsedMillis();
+
+  for (ChunkData& data : backend_results) results.push_back(std::move(data));
+  return results;
+}
+
+}  // namespace aac

@@ -1,0 +1,111 @@
+#ifndef AAC_CORE_QUERY_ENGINE_H_
+#define AAC_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/backend.h"
+#include "cache/benefit.h"
+#include "cache/chunk_cache.h"
+#include "core/executor.h"
+#include "core/query.h"
+#include "core/strategy.h"
+#include "util/sim_clock.h"
+
+namespace aac {
+
+/// Per-query timing and outcome breakdown (the paper's Figure 10 splits
+/// complete-hit query time into lookup, aggregation and update).
+struct QueryStats {
+  int64_t chunks_requested = 0;
+  int64_t chunks_direct = 0;      // present in the cache as-is
+  int64_t chunks_aggregated = 0;  // computed by in-cache aggregation
+  int64_t chunks_backend = 0;     // fetched from the backend
+  int64_t chunks_bypassed = 0;    // computable, but backend was cheaper
+
+  int64_t tuples_aggregated = 0;  // in-cache aggregation work
+
+  double lookup_ms = 0.0;       // strategy probe + plan construction
+  double aggregation_ms = 0.0;  // plan execution (incl. direct reads)
+  double backend_ms = 0.0;      // simulated backend latency
+  double update_ms = 0.0;       // cache inserts (incl. count/cost upkeep)
+
+  /// Completely answered from the cache (directly or by aggregation) —
+  /// the paper's "complete hit". Chunks routed to the backend by the
+  /// cost-based bypass count as backend fetches, so a bypassed query is
+  /// not a complete hit even though it was answerable from the cache.
+  bool complete_hit = false;
+
+  double TotalMs() const {
+    return lookup_ms + aggregation_ms + backend_ms + update_ms;
+  }
+};
+
+/// The middle tier: answers chunked multi-dimensional queries from an
+/// aggregate-aware cache, falling back to the backend for missing chunks.
+///
+/// Per query (paper Section 2): split the query into chunks; probe the
+/// lookup strategy for each chunk; answer what is cached or computable by
+/// aggregation; fetch all missing chunks with a single backend query; then
+/// insert the newly obtained chunks into the cache under the configured
+/// policy rules.
+class QueryEngine {
+ public:
+  struct Config {
+    /// Insert backend-fetched chunks into the cache.
+    bool cache_backend_results = true;
+
+    /// Insert chunks computed by in-cache aggregation (as cache-computed,
+    /// lower-priority entries under the two-level policy).
+    bool cache_computed_results = true;
+
+    /// Boost the clock value of every chunk in a group used to compute an
+    /// aggregate by the computed chunk's (normalized) benefit — rule 2 of
+    /// the two-level policy.
+    bool boost_groups = false;
+
+    /// The cost-based optimizer of paper Section 5.2: even when a chunk is
+    /// computable from the cache, compare the plan's estimated aggregation
+    /// time against the backend's marginal cost and take the cheaper route.
+    /// Most effective with VCMC, whose least cost is available instantly.
+    bool cost_based_bypass = false;
+
+    /// Middle-tier aggregation throughput assumed by the bypass decision
+    /// (converts plan costs in tuples to nanoseconds).
+    double cache_aggregation_ns_per_tuple = 50.0;
+  };
+
+  /// All pointers must outlive the engine. `sim_clock` must be the clock the
+  /// backend charges into (used to attribute simulated backend latency).
+  QueryEngine(const ChunkGrid* grid, ChunkCache* cache,
+              LookupStrategy* strategy, BackendServer* backend,
+              const BenefitModel* benefit, SimClock* sim_clock, Config config);
+
+  /// Answers `query`; the result holds one ChunkData per requested chunk
+  /// (chunk-aligned superset of the query ranges). `stats` may be null.
+  std::vector<ChunkData> ExecuteQuery(const Query& query, QueryStats* stats);
+
+  /// EXPLAIN: describes how `query` *would* be answered right now — per
+  /// chunk, the route (direct hit / aggregation / backend / bypass) and
+  /// the aggregation plan — without executing anything or touching cache
+  /// state beyond the strategy probes.
+  std::string ExplainQuery(const Query& query);
+
+  LookupStrategy* strategy() { return strategy_; }
+  const Config& config() const { return config_; }
+
+ private:
+  const ChunkGrid* grid_;
+  ChunkCache* cache_;
+  LookupStrategy* strategy_;
+  BackendServer* backend_;
+  const BenefitModel* benefit_;
+  SimClock* sim_clock_;
+  Config config_;
+  Aggregator aggregator_;
+  PlanExecutor executor_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,158 @@
+#include "core/query_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace aac {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(Trim(s.substr(start)));
+      break;
+    }
+    parts.push_back(Trim(s.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+int FindDimension(const Schema& schema, const std::string& name) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (Lower(schema.dimension(d).name()) == name) return d;
+  }
+  return -1;
+}
+
+int FindLevel(const Dimension& dim, const std::string& name) {
+  for (int l = 0; l < dim.num_levels(); ++l) {
+    if (Lower(dim.level_name(l)) == name) return l;
+  }
+  return -1;
+}
+
+ParsedQuery Error(std::string message) {
+  ParsedQuery result;
+  result.error = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+ParsedQuery ParseQuery(const Schema& schema, const std::string& text) {
+  const std::string lowered = Lower(text);
+
+  // Split off the three sections: [fn] BY <levels> [WHERE <ranges>].
+  const size_t by_pos = lowered.find("by ");
+  if (by_pos == std::string::npos) return Error("missing BY clause");
+  const size_t where_pos = lowered.find(" where ");
+
+  const std::string fn_part = Trim(lowered.substr(0, by_pos));
+  const std::string by_part =
+      Trim(where_pos == std::string::npos
+               ? lowered.substr(by_pos + 3)
+               : lowered.substr(by_pos + 3, where_pos - (by_pos + 3)));
+  const std::string where_part =
+      where_pos == std::string::npos ? "" : Trim(lowered.substr(where_pos + 7));
+
+  ParsedQuery result;
+  result.query.fn = AggregateFunction::kSum;
+  if (!fn_part.empty()) {
+    if (fn_part == "sum") {
+      result.query.fn = AggregateFunction::kSum;
+    } else if (fn_part == "count") {
+      result.query.fn = AggregateFunction::kCount;
+    } else if (fn_part == "min") {
+      result.query.fn = AggregateFunction::kMin;
+    } else if (fn_part == "max") {
+      result.query.fn = AggregateFunction::kMax;
+    } else if (fn_part == "avg") {
+      result.query.fn = AggregateFunction::kAvg;
+    } else {
+      return Error("unknown aggregate function '" + fn_part + "'");
+    }
+  }
+
+  // BY: dim.level list; unlisted dimensions default to level 0.
+  result.query.level = LevelVector::Uniform(schema.num_dims(), 0);
+  if (by_part.empty()) return Error("empty BY clause");
+  for (const std::string& item : SplitCommas(by_part)) {
+    const size_t dot = item.find('.');
+    if (dot == std::string::npos) {
+      return Error("BY item '" + item + "' is not dim.level");
+    }
+    const int d = FindDimension(schema, Trim(item.substr(0, dot)));
+    if (d < 0) return Error("unknown dimension in '" + item + "'");
+    const int l = FindLevel(schema.dimension(d), Trim(item.substr(dot + 1)));
+    if (l < 0) return Error("unknown level in '" + item + "'");
+    result.query.level.Set(d, l);
+  }
+
+  // Default ranges: everything at the chosen level.
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    result.query.ranges[static_cast<size_t>(d)] = {
+        0, static_cast<int32_t>(
+               schema.dimension(d).cardinality(result.query.level[d]))};
+  }
+
+  // WHERE: dim[lo:hi] list.
+  if (!where_part.empty()) {
+    for (const std::string& item : SplitCommas(where_part)) {
+      const size_t open = item.find('[');
+      const size_t colon = item.find(':', open);
+      const size_t close = item.find(']', colon);
+      if (open == std::string::npos || colon == std::string::npos ||
+          close == std::string::npos) {
+        return Error("WHERE item '" + item + "' is not dim[lo:hi]");
+      }
+      const int d = FindDimension(schema, Trim(item.substr(0, open)));
+      if (d < 0) return Error("unknown dimension in '" + item + "'");
+      const std::string lo_text = Trim(item.substr(open + 1, colon - open - 1));
+      const std::string hi_text =
+          Trim(item.substr(colon + 1, close - colon - 1));
+      char* end = nullptr;
+      const long lo_val = std::strtol(lo_text.c_str(), &end, 10);
+      const bool lo_ok = end != lo_text.c_str() && *end == '\0';
+      const long hi_val = std::strtol(hi_text.c_str(), &end, 10);
+      const bool hi_ok = end != hi_text.c_str() && *end == '\0';
+      if (!lo_ok || !hi_ok) {
+        return Error("bad range numbers in '" + item + "'");
+      }
+      const auto lo = static_cast<int32_t>(lo_val);
+      const auto hi = static_cast<int32_t>(hi_val);
+      const auto card = static_cast<int32_t>(
+          schema.dimension(d).cardinality(result.query.level[d]));
+      if (lo < 0 || lo >= hi || hi > card) {
+        return Error("range out of bounds in '" + item + "' (level has " +
+                     std::to_string(card) + " values)");
+      }
+      result.query.ranges[static_cast<size_t>(d)] = {lo, hi};
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace aac

@@ -1,0 +1,40 @@
+#ifndef AAC_CORE_QUERY_PARSER_H_
+#define AAC_CORE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "core/query.h"
+#include "schema/schema.h"
+
+namespace aac {
+
+/// Result of parsing a textual query: either a Query or an error message.
+struct ParsedQuery {
+  bool ok = false;
+  Query query;
+  std::string error;
+};
+
+/// Parses the library's compact query language into a `Query`:
+///
+///   [FN] BY <dim>.<level> {, <dim>.<level>}
+///        [WHERE <dim>[lo:hi] {, <dim>[lo:hi]}]
+///
+/// - FN is SUM (default), COUNT, MIN, MAX or AVG.
+/// - BY lists the group-by level per dimension; unlisted dimensions sit at
+///   their most aggregated level (0).
+/// - WHERE restricts a dimension to the half-open value-id range [lo:hi)
+///   at that dimension's BY level; unrestricted dimensions cover all
+///   values.
+///
+/// Examples:
+///   "SUM BY product.class, time.month"
+///   "AVG BY time.week WHERE time[0:12]"
+///   "BY product.code, customer.store WHERE product[0:96], customer[10:40]"
+///
+/// Keywords and identifiers are case-insensitive; whitespace is free-form.
+ParsedQuery ParseQuery(const Schema& schema, const std::string& text);
+
+}  // namespace aac
+
+#endif  // AAC_CORE_QUERY_PARSER_H_

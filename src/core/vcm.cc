@@ -1,0 +1,56 @@
+#include "core/vcm.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+VcmStrategy::VcmStrategy(const ChunkGrid* grid, const ChunkCache* cache)
+    : grid_(grid),
+      cache_(cache),
+      indexer_(grid),
+      counts_(&indexer_, cache) {
+  AAC_CHECK(grid != nullptr);
+  AAC_CHECK(cache != nullptr);
+}
+
+bool VcmStrategy::IsComputable(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  // Statement (I) of Algorithm VCM: the count short-circuits everything.
+  return counts_.IsComputable(gb, chunk);
+}
+
+std::unique_ptr<PlanNode> VcmStrategy::FindPlan(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  if (!counts_.IsComputable(gb, chunk)) return nullptr;
+  return Build(gb, chunk);
+}
+
+// Precondition: (gb, chunk) is computable. Walks the single successful path
+// the counts certify; the paper's "control should never reach here" branch
+// is the final AAC_CHECK.
+std::unique_ptr<PlanNode> VcmStrategy::Build(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  if (cache_->Contains({gb, chunk})) {
+    auto leaf = std::make_unique<PlanNode>();
+    leaf->key = {gb, chunk};
+    leaf->cached = true;
+    return leaf;
+  }
+  const GroupById parent = counts_.FindParentWithCompletePath(gb, chunk);
+  AAC_CHECK_GE(parent, 0);  // count > 0 guarantees some complete path
+  auto node = std::make_unique<PlanNode>();
+  node->key = {gb, chunk};
+  node->source_gb = parent;
+  double cost = 0.0;
+  for (ChunkId pc : grid_->ParentChunkNumbers(gb, chunk, parent)) {
+    std::unique_ptr<PlanNode> input = Build(parent, pc);
+    cost += input->estimated_cost;
+    const ChunkData* cached = cache_->Peek(input->key);
+    if (cached != nullptr) cost += static_cast<double>(cached->tuple_count());
+    node->inputs.push_back(std::move(input));
+  }
+  node->estimated_cost = cost;
+  return node;
+}
+
+}  // namespace aac

@@ -1,0 +1,56 @@
+#ifndef AAC_CORE_VCM_H_
+#define AAC_CORE_VCM_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/chunk_cache.h"
+#include "core/strategy.h"
+#include "core/virtual_counts.h"
+
+namespace aac {
+
+/// Virtual Count Method (paper Section 4).
+///
+/// Maintains a count per chunk summarizing the cache state; lookup is a
+/// single array read (non-computable chunks are rejected in constant time)
+/// and plan construction walks exactly one — guaranteed successful — path.
+/// In exchange, cache inserts and evictions pay the count-maintenance cost,
+/// which the paper shows is small and amortizes well (Table 2).
+class VcmStrategy : public LookupStrategy, public CacheListener {
+ public:
+  /// `grid` and `cache` must outlive the strategy. Register this object as a
+  /// cache listener (`cache->AddListener(strategy.listener())`) immediately
+  /// after construction; counts are initialized from the cache's current
+  /// contents.
+  VcmStrategy(const ChunkGrid* grid, const ChunkCache* cache);
+
+  std::string name() const override { return "VCM"; }
+  bool IsComputable(GroupById gb, ChunkId chunk) override;
+  std::unique_ptr<PlanNode> FindPlan(GroupById gb, ChunkId chunk) override;
+  CacheListener* listener() override { return this; }
+  int64_t SpaceOverheadBytes() const override { return counts_.SpaceBytes(); }
+
+  // CacheListener:
+  void OnInsert(const CacheKey& key) override {
+    counts_.OnChunkInserted(key.gb, key.chunk);
+  }
+  void OnEvict(const CacheKey& key) override {
+    counts_.OnChunkEvicted(key.gb, key.chunk);
+  }
+
+  /// Read access for tests and experiments.
+  const VirtualCounts& counts() const { return counts_; }
+
+ private:
+  std::unique_ptr<PlanNode> Build(GroupById gb, ChunkId chunk);
+
+  const ChunkGrid* grid_;
+  const ChunkCache* cache_;
+  ChunkIndexer indexer_;
+  VirtualCounts counts_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_VCM_H_

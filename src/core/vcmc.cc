@@ -1,0 +1,200 @@
+#include "core/vcmc.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace aac {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+VcmcStrategy::VcmcStrategy(const ChunkGrid* grid, const ChunkCache* cache,
+                           const ChunkSizeModel* size_model)
+    : grid_(grid),
+      cache_(cache),
+      size_model_(size_model),
+      indexer_(grid),
+      counts_(&indexer_, cache) {
+  AAC_CHECK(grid != nullptr);
+  AAC_CHECK(cache != nullptr);
+  AAC_CHECK(size_model != nullptr);
+  auto [costs, parents] = ComputeCostsFromScratch();
+  costs_ = std::move(costs);
+  best_parents_ = std::move(parents);
+
+  const Lattice& lattice = grid_->lattice();
+  level_sums_.resize(static_cast<size_t>(lattice.num_groupbys()));
+  for (GroupById gb = 0; gb < lattice.num_groupbys(); ++gb) {
+    const LevelVector& lv = lattice.LevelOf(gb);
+    int sum = 0;
+    for (int d = 0; d < lv.size(); ++d) sum += lv[d];
+    level_sums_[static_cast<size_t>(gb)] = static_cast<int16_t>(sum);
+  }
+  queued_epoch_.assign(static_cast<size_t>(indexer_.size()), 0);
+}
+
+bool VcmcStrategy::IsComputable(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  return counts_.IsComputable(gb, chunk);
+}
+
+double VcmcStrategy::CostOf(GroupById gb, ChunkId chunk) const {
+  return costs_[static_cast<size_t>(indexer_.IndexOf(gb, chunk))];
+}
+
+int8_t VcmcStrategy::BestParentOf(GroupById gb, ChunkId chunk) const {
+  return best_parents_[static_cast<size_t>(indexer_.IndexOf(gb, chunk))];
+}
+
+int64_t VcmcStrategy::SpaceOverheadBytes() const {
+  return counts_.SpaceBytes() +
+         static_cast<int64_t>(costs_.size() * sizeof(double)) +
+         static_cast<int64_t>(best_parents_.size() * sizeof(int8_t));
+}
+
+void VcmcStrategy::OnInsert(const CacheKey& key) {
+  // Counts first: cost evaluation reads path-completeness from them.
+  counts_.OnChunkInserted(key.gb, key.chunk);
+  RecomputeAndPropagate(key.gb, key.chunk);
+}
+
+void VcmcStrategy::OnEvict(const CacheKey& key) {
+  counts_.OnChunkEvicted(key.gb, key.chunk);
+  RecomputeAndPropagate(key.gb, key.chunk);
+}
+
+std::pair<double, int8_t> VcmcStrategy::Evaluate(GroupById gb,
+                                                 ChunkId chunk) const {
+  if (cache_->Contains({gb, chunk})) return {0.0, kSelf};
+  const Lattice& lattice = grid_->lattice();
+  const auto& parents = lattice.Parents(gb);
+  double best_cost = kInf;
+  int8_t best_parent = kNone;
+  for (size_t pi = 0; pi < parents.size(); ++pi) {
+    const GroupById parent = parents[pi];
+    double sum = 0.0;
+    const bool complete = grid_->ForEachParentChunk(
+        gb, chunk, parent, [&](ChunkId pc) {
+          const double pc_cost =
+              costs_[static_cast<size_t>(indexer_.IndexOf(parent, pc))];
+          if (pc_cost == kInf) return false;
+          // Materialize the input (pc_cost), then aggregate its tuples.
+          sum += pc_cost + size_model_->ExpectedChunkTuples(parent, pc);
+          return true;
+        });
+    if (complete && sum < best_cost) {
+      best_cost = sum;
+      best_parent = static_cast<int8_t>(pi);
+    }
+  }
+  return {best_cost, best_parent};
+}
+
+void VcmcStrategy::RecomputeAndPropagate(GroupById gb, ChunkId chunk) {
+  // Affected chunks are strictly more aggregated than their influencers, so
+  // processing candidates in descending level-sum order guarantees every
+  // chunk is re-evaluated after all its (possibly changing) parents — each
+  // affected chunk is recomputed exactly once. (A naive depth-first
+  // propagation can re-visit diamond-shaped descendants a factorial number
+  // of times.)
+  ++epoch_;
+  using QueueItem = std::pair<int16_t, std::pair<GroupById, ChunkId>>;
+  std::priority_queue<QueueItem> queue;  // max level sum first
+  auto enqueue = [&](GroupById g, ChunkId c) {
+    const size_t idx = static_cast<size_t>(indexer_.IndexOf(g, c));
+    if (queued_epoch_[idx] == epoch_) return;
+    queued_epoch_[idx] = epoch_;
+    queue.emplace(level_sums_[static_cast<size_t>(g)], std::make_pair(g, c));
+  };
+  enqueue(gb, chunk);
+  while (!queue.empty()) {
+    const auto [g, c] = queue.top().second;
+    queue.pop();
+    const size_t idx = static_cast<size_t>(indexer_.IndexOf(g, c));
+    const auto [cost, parent] = Evaluate(g, c);
+    const bool cost_changed = cost != costs_[idx];
+    if (!cost_changed && parent == best_parents_[idx]) continue;
+    costs_[idx] = cost;
+    best_parents_[idx] = parent;
+    // Children read only the cost value; a mere best-parent change is
+    // local. The least cost changed: every more aggregated neighbour that
+    // aggregates this chunk may be affected (paper: updates propagate when
+    // a chunk becomes newly computable *or* its least cost changes).
+    if (!cost_changed) continue;
+    for (GroupById child : grid_->lattice().Children(g)) {
+      enqueue(child, grid_->ChildChunkNumber(g, c, child));
+    }
+  }
+}
+
+std::pair<std::vector<double>, std::vector<int8_t>>
+VcmcStrategy::ComputeCostsFromScratch() const {
+  std::vector<double> costs(static_cast<size_t>(indexer_.size()), kInf);
+  std::vector<int8_t> parents(static_cast<size_t>(indexer_.size()), kNone);
+  const Lattice& lattice = grid_->lattice();
+  // Detailed levels first so parent costs are final before they are read.
+  for (GroupById gb : lattice.TopoDetailedFirst()) {
+    for (ChunkId chunk = 0; chunk < grid_->NumChunks(gb); ++chunk) {
+      // Evaluate() only reads strictly more detailed entries of costs_, so
+      // a temporary swap lets us reuse it; instead we inline the same logic
+      // against the local arrays.
+      const size_t idx = static_cast<size_t>(indexer_.IndexOf(gb, chunk));
+      if (cache_->Contains({gb, chunk})) {
+        costs[idx] = 0.0;
+        parents[idx] = kSelf;
+        continue;
+      }
+      const auto& gb_parents = lattice.Parents(gb);
+      for (size_t pi = 0; pi < gb_parents.size(); ++pi) {
+        double sum = 0.0;
+        const bool complete = grid_->ForEachParentChunk(
+            gb, chunk, gb_parents[pi], [&](ChunkId pc) {
+              const double pc_cost = costs[static_cast<size_t>(
+                  indexer_.IndexOf(gb_parents[pi], pc))];
+              if (pc_cost == kInf) return false;
+              sum += pc_cost +
+                     size_model_->ExpectedChunkTuples(gb_parents[pi], pc);
+              return true;
+            });
+        if (complete && sum < costs[idx]) {
+          costs[idx] = sum;
+          parents[idx] = static_cast<int8_t>(pi);
+        }
+      }
+    }
+  }
+  return {std::move(costs), std::move(parents)};
+}
+
+std::unique_ptr<PlanNode> VcmcStrategy::FindPlan(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  if (!counts_.IsComputable(gb, chunk)) return nullptr;
+  return Build(gb, chunk);
+}
+
+// Precondition: computable. Follows the BestParent pointers, so exactly the
+// least-cost plan is constructed.
+std::unique_ptr<PlanNode> VcmcStrategy::Build(GroupById gb, ChunkId chunk) {
+  ++metrics_.nodes_visited;
+  const size_t idx = static_cast<size_t>(indexer_.IndexOf(gb, chunk));
+  auto node = std::make_unique<PlanNode>();
+  node->key = {gb, chunk};
+  node->estimated_cost = costs_[idx];
+  const int8_t bp = best_parents_[idx];
+  AAC_CHECK_NE(bp, kNone);
+  if (bp == kSelf) {
+    node->cached = true;
+    return node;
+  }
+  const GroupById parent = grid_->lattice().Parents(gb)[static_cast<size_t>(bp)];
+  node->source_gb = parent;
+  for (ChunkId pc : grid_->ParentChunkNumbers(gb, chunk, parent)) {
+    node->inputs.push_back(Build(parent, pc));
+  }
+  return node;
+}
+
+}  // namespace aac

@@ -1,0 +1,93 @@
+#ifndef AAC_CORE_VCMC_H_
+#define AAC_CORE_VCMC_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/chunk_cache.h"
+#include "chunks/chunk_size_model.h"
+#include "core/strategy.h"
+#include "core/virtual_counts.h"
+
+namespace aac {
+
+/// Cost-based Virtual Count Method (paper Section 5.2).
+///
+/// Extends VCM with two more arrays: `Cost` — the least cost (tuples
+/// aggregated, per the linear model) of computing each chunk from the cache
+/// — and `BestParent` — the lattice parent the least-cost path goes through
+/// (self for cached chunks). Lookup stays O(1); plan construction follows
+/// the best-parent pointers, so the plan returned is the cheapest one. The
+/// least cost of any chunk is available instantaneously, which a cost-based
+/// optimizer can compare against the backend estimate (Section 5.2).
+///
+/// Maintenance: on top of the count updates, an insert/evict recomputes the
+/// affected chunk's cost and propagates toward aggregated levels while
+/// stored costs keep changing (the paper: updates propagate both when a
+/// chunk becomes newly computable and when its least cost changes).
+class VcmcStrategy : public LookupStrategy, public CacheListener {
+ public:
+  /// All pointers must outlive the strategy. Register `listener()` on the
+  /// cache right after construction; state is initialized from the cache's
+  /// current contents.
+  VcmcStrategy(const ChunkGrid* grid, const ChunkCache* cache,
+               const ChunkSizeModel* size_model);
+
+  std::string name() const override { return "VCMC"; }
+  bool IsComputable(GroupById gb, ChunkId chunk) override;
+  std::unique_ptr<PlanNode> FindPlan(GroupById gb, ChunkId chunk) override;
+  CacheListener* listener() override { return this; }
+
+  /// Count (1B) + cost (8B) + best-parent (1B) per chunk (paper Table 3;
+  /// the paper assumed a 4-byte cost, we store doubles).
+  int64_t SpaceOverheadBytes() const override;
+
+  // CacheListener:
+  void OnInsert(const CacheKey& key) override;
+  void OnEvict(const CacheKey& key) override;
+
+  /// Least cost of computing (gb, chunk) from the cache; +infinity if not
+  /// computable. Constant time.
+  double CostOf(GroupById gb, ChunkId chunk) const;
+
+  /// Index into lattice Parents(gb) of the least-cost parent, kSelf for
+  /// cached chunks, kNone if not computable.
+  static constexpr int8_t kSelf = -1;
+  static constexpr int8_t kNone = -2;
+  int8_t BestParentOf(GroupById gb, ChunkId chunk) const;
+
+  const VirtualCounts& counts() const { return counts_; }
+
+  /// From-scratch recomputation of (cost, best parent) for every chunk, in
+  /// topological order; the incremental maintenance must agree (tested).
+  std::pair<std::vector<double>, std::vector<int8_t>> ComputeCostsFromScratch()
+      const;
+
+ private:
+  /// Recomputes (cost, best parent) of one chunk from current state.
+  std::pair<double, int8_t> Evaluate(GroupById gb, ChunkId chunk) const;
+
+  /// Re-evaluates the chunk and, while costs keep changing, the affected
+  /// more-aggregated chunks — processed in topological (descending
+  /// level-sum) order so each affected chunk is recomputed exactly once.
+  void RecomputeAndPropagate(GroupById gb, ChunkId chunk);
+
+  std::unique_ptr<PlanNode> Build(GroupById gb, ChunkId chunk);
+
+  const ChunkGrid* grid_;
+  const ChunkCache* cache_;
+  const ChunkSizeModel* size_model_;
+  ChunkIndexer indexer_;
+  VirtualCounts counts_;
+  std::vector<double> costs_;
+  std::vector<int8_t> best_parents_;
+  std::vector<int16_t> level_sums_;     // per group-by, for topo ordering
+  std::vector<int64_t> queued_epoch_;   // per chunk, dedup for propagation
+  int64_t epoch_ = 0;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_VCMC_H_

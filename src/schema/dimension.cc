@@ -1,0 +1,127 @@
+#include "schema/dimension.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace aac {
+
+Dimension::Dimension(std::string name, std::vector<std::string> level_names,
+                     int64_t cardinality_level0,
+                     std::vector<std::vector<int32_t>> parent_maps)
+    : name_(std::move(name)),
+      level_names_(std::move(level_names)),
+      parent_maps_(std::move(parent_maps)) {
+  AAC_CHECK(!level_names_.empty());
+  AAC_CHECK_EQ(parent_maps_.size(), level_names_.size() - 1);
+  AAC_CHECK_GT(cardinality_level0, 0);
+  cardinalities_.push_back(cardinality_level0);
+  for (const auto& pm : parent_maps_) {
+    cardinalities_.push_back(static_cast<int64_t>(pm.size()));
+  }
+  Validate();
+
+  // Precompute child range starts: children of value v at level l are
+  // [child_begins_[l][v], child_begins_[l][v + 1]) at level l + 1.
+  child_begins_.resize(parent_maps_.size());
+  for (size_t l = 0; l < parent_maps_.size(); ++l) {
+    const auto& pm = parent_maps_[l];
+    const int64_t parent_card = cardinalities_[l];
+    auto& begins = child_begins_[l];
+    begins.assign(static_cast<size_t>(parent_card) + 1, 0);
+    for (int32_t child = 0; child < static_cast<int32_t>(pm.size()); ++child) {
+      begins[static_cast<size_t>(pm[child]) + 1] = child + 1;
+    }
+    // Fill gaps (none should exist because maps are surjective, but keep the
+    // prefix monotone regardless).
+    for (size_t v = 1; v < begins.size(); ++v) {
+      if (begins[v] < begins[v - 1]) begins[v] = begins[v - 1];
+    }
+  }
+}
+
+Dimension Dimension::Uniform(std::string name, int64_t cardinality_level0,
+                             const std::vector<int64_t>& fanouts,
+                             std::vector<std::string> level_names) {
+  if (level_names.empty()) {
+    level_names.reserve(fanouts.size() + 1);
+    for (size_t l = 0; l <= fanouts.size(); ++l) {
+      std::string level_name = "L";
+      level_name += std::to_string(l);
+      level_names.push_back(std::move(level_name));
+    }
+  }
+  AAC_CHECK_EQ(level_names.size(), fanouts.size() + 1);
+  std::vector<std::vector<int32_t>> parent_maps;
+  int64_t card = cardinality_level0;
+  for (int64_t fanout : fanouts) {
+    AAC_CHECK_GT(fanout, 0);
+    const int64_t child_card = card * fanout;
+    std::vector<int32_t> pm(static_cast<size_t>(child_card));
+    for (int64_t v = 0; v < child_card; ++v) {
+      pm[static_cast<size_t>(v)] = static_cast<int32_t>(v / fanout);
+    }
+    parent_maps.push_back(std::move(pm));
+    card = child_card;
+  }
+  return Dimension(std::move(name), std::move(level_names), cardinality_level0,
+                   std::move(parent_maps));
+}
+
+const std::string& Dimension::level_name(int level) const {
+  AAC_CHECK(level >= 0 && level < num_levels());
+  return level_names_[static_cast<size_t>(level)];
+}
+
+int64_t Dimension::cardinality(int level) const {
+  AAC_CHECK(level >= 0 && level < num_levels());
+  return cardinalities_[static_cast<size_t>(level)];
+}
+
+int32_t Dimension::ParentValue(int level, int32_t value) const {
+  AAC_CHECK(level >= 1 && level < num_levels());
+  AAC_DCHECK(value >= 0 && value < cardinality(level));
+  return parent_maps_[static_cast<size_t>(level - 1)][static_cast<size_t>(value)];
+}
+
+int32_t Dimension::AncestorValue(int level, int32_t value,
+                                 int target_level) const {
+  AAC_CHECK_LE(target_level, level);
+  int32_t v = value;
+  for (int l = level; l > target_level; --l) v = ParentValue(l, v);
+  return v;
+}
+
+std::pair<int32_t, int32_t> Dimension::ChildRange(int level,
+                                                  int32_t value) const {
+  AAC_CHECK(level >= 0 && level < hierarchy_size());
+  AAC_DCHECK(value >= 0 && value < cardinality(level));
+  const auto& begins = child_begins_[static_cast<size_t>(level)];
+  return {begins[static_cast<size_t>(value)],
+          begins[static_cast<size_t>(value) + 1]};
+}
+
+void Dimension::Validate() const {
+  for (size_t l = 0; l < parent_maps_.size(); ++l) {
+    const auto& pm = parent_maps_[l];
+    const int64_t parent_card = cardinalities_[l];
+    AAC_CHECK(!pm.empty());
+    int32_t prev = 0;
+    std::vector<bool> seen(static_cast<size_t>(parent_card), false);
+    for (size_t v = 0; v < pm.size(); ++v) {
+      const int32_t p = pm[v];
+      AAC_CHECK(p >= 0 && p < parent_card);
+      // Monotone non-decreasing: children of a parent form a contiguous
+      // range, required for the chunk closure property.
+      AAC_CHECK_GE(p, prev);
+      prev = p;
+      seen[static_cast<size_t>(p)] = true;
+    }
+    for (int64_t p = 0; p < parent_card; ++p) {
+      // Surjective: every parent value has at least one child.
+      AAC_CHECK(seen[static_cast<size_t>(p)]);
+    }
+  }
+}
+
+}  // namespace aac

@@ -1,0 +1,73 @@
+#ifndef AAC_SCHEMA_DIMENSION_H_
+#define AAC_SCHEMA_DIMENSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aac {
+
+/// A dimension with a value hierarchy.
+///
+/// A dimension has `hierarchy_size() + 1` levels. Level 0 is the most
+/// aggregated; level `hierarchy_size()` is the most detailed (base). Each
+/// level has a set of distinct values identified by dense ids
+/// `[0, cardinality(level))`, and every value at level l+1 has exactly one
+/// parent value at level l. Parent mappings must be monotone non-decreasing
+/// and surjective, so that the children of a value form a contiguous id
+/// range — this is what makes chunk ranges hierarchically alignable (the
+/// "closure property" of chunked caching).
+class Dimension {
+ public:
+  /// Builds a dimension from explicit parent mappings.
+  ///
+  /// `level_names[l]` names level l; `level_names.size()` determines the
+  /// number of levels. `cardinality_level0` is the number of values at level
+  /// 0. `parent_maps[l-1][v]` gives, for each value v at level l, its parent
+  /// value id at level l-1 (so `parent_maps.size() == levels - 1`).
+  Dimension(std::string name, std::vector<std::string> level_names,
+            int64_t cardinality_level0,
+            std::vector<std::vector<int32_t>> parent_maps);
+
+  /// Convenience constructor: uniform hierarchy where every value at level l
+  /// has exactly `fanouts[l]` children at level l+1.
+  /// `fanouts.size()` == hierarchy size; level 0 has `cardinality_level0`
+  /// values. `level_names`, if non-empty, must have fanouts.size() + 1
+  /// entries; defaults to "L0".."Lh".
+  static Dimension Uniform(std::string name, int64_t cardinality_level0,
+                           const std::vector<int64_t>& fanouts,
+                           std::vector<std::string> level_names = {});
+
+  const std::string& name() const { return name_; }
+  int num_levels() const { return static_cast<int>(level_names_.size()); }
+  int hierarchy_size() const { return num_levels() - 1; }
+  const std::string& level_name(int level) const;
+
+  /// Number of distinct values at `level`.
+  int64_t cardinality(int level) const;
+
+  /// Parent value at `level - 1` of value `value` at `level`.
+  int32_t ParentValue(int level, int32_t value) const;
+
+  /// Ancestor value at `target_level` (<= level) of `value` at `level`.
+  int32_t AncestorValue(int level, int32_t value, int target_level) const;
+
+  /// Contiguous range [begin, end) of child values at `level + 1` of `value`
+  /// at `level`.
+  std::pair<int32_t, int32_t> ChildRange(int level, int32_t value) const;
+
+ private:
+  void Validate() const;
+
+  std::string name_;
+  std::vector<std::string> level_names_;
+  std::vector<int64_t> cardinalities_;              // per level
+  std::vector<std::vector<int32_t>> parent_maps_;   // [l-1] maps level l->l-1
+  std::vector<std::vector<int32_t>> child_begins_;  // [l] prefix: children of
+                                                    // value v at level l start
+                                                    // at child_begins_[l][v]
+};
+
+}  // namespace aac
+
+#endif  // AAC_SCHEMA_DIMENSION_H_

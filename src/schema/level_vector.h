@@ -1,0 +1,115 @@
+#ifndef AAC_SCHEMA_LEVEL_VECTOR_H_
+#define AAC_SCHEMA_LEVEL_VECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+#include "util/check.h"
+
+namespace aac {
+
+/// Maximum number of dimensions a schema may have. APB-1 uses 5; the fixed
+/// bound keeps LevelVector trivially copyable and hot-path friendly.
+inline constexpr int kMaxDims = 8;
+
+/// The aggregation level of a group-by, one entry per dimension.
+///
+/// Level 0 is the *most aggregated* level of a dimension's hierarchy and
+/// `hierarchy_size` is the most detailed (base) level, matching the paper's
+/// notation: group-by (x1,y1,z1) is computable from (x2,y2,z2) iff
+/// x1<=x2, y1<=y2, z1<=z2.
+class LevelVector {
+ public:
+  LevelVector() : size_(0) { levels_.fill(0); }
+
+  LevelVector(std::initializer_list<int> levels) : size_(0) {
+    levels_.fill(0);
+    AAC_CHECK_LE(levels.size(), static_cast<size_t>(kMaxDims));
+    for (int l : levels) levels_[size_++] = static_cast<int16_t>(l);
+  }
+
+  /// Creates a level vector of `num_dims` dimensions, all at `level`.
+  static LevelVector Uniform(int num_dims, int level) {
+    AAC_CHECK(num_dims >= 1 && num_dims <= kMaxDims);
+    LevelVector v;
+    v.size_ = num_dims;
+    for (int i = 0; i < num_dims; ++i) v.levels_[i] = static_cast<int16_t>(level);
+    return v;
+  }
+
+  int size() const { return size_; }
+
+  int operator[](int dim) const {
+    AAC_DCHECK(dim >= 0 && dim < size_);
+    return levels_[dim];
+  }
+
+  /// Sets the level for one dimension.
+  void Set(int dim, int level) {
+    AAC_DCHECK(dim >= 0 && dim < size_);
+    levels_[dim] = static_cast<int16_t>(level);
+  }
+
+  /// Returns a copy with dimension `dim` moved by `delta` levels.
+  LevelVector WithLevel(int dim, int level) const {
+    LevelVector v = *this;
+    v.Set(dim, level);
+    return v;
+  }
+
+  friend bool operator==(const LevelVector& a, const LevelVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (int i = 0; i < a.size_; ++i) {
+      if (a.levels_[i] != b.levels_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const LevelVector& a, const LevelVector& b) {
+    return !(a == b);
+  }
+
+  /// True if a group-by at this level can be computed from one at `other`
+  /// (this is component-wise <= other). Reflexive.
+  bool ComputableFrom(const LevelVector& other) const {
+    AAC_DCHECK_EQ(size_, other.size_);
+    for (int i = 0; i < size_; ++i) {
+      if (levels_[i] > other.levels_[i]) return false;
+    }
+    return true;
+  }
+
+  /// "(1, 2, 0)" formatting used in log and experiment output.
+  std::string ToString() const {
+    std::string s = "(";
+    for (int i = 0; i < size_; ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(levels_[i]);
+    }
+    s += ")";
+    return s;
+  }
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const {
+    size_t h = static_cast<size_t>(size_);
+    for (int i = 0; i < size_; ++i) {
+      h = h * 1000003u + static_cast<size_t>(levels_[i] + 1);
+    }
+    return h;
+  }
+
+ private:
+  std::array<int16_t, kMaxDims> levels_;
+  int size_;
+};
+
+struct LevelVectorHash {
+  size_t operator()(const LevelVector& v) const { return v.Hash(); }
+};
+
+}  // namespace aac
+
+#endif  // AAC_SCHEMA_LEVEL_VECTOR_H_

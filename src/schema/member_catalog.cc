@@ -1,0 +1,60 @@
+#include "schema/member_catalog.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace aac {
+
+MemberCatalog::MemberCatalog(const Schema* schema) : schema_(schema) {
+  AAC_CHECK(schema != nullptr);
+  levels_.resize(static_cast<size_t>(schema->num_dims()));
+  for (int d = 0; d < schema->num_dims(); ++d) {
+    levels_[static_cast<size_t>(d)].resize(
+        static_cast<size_t>(schema->dimension(d).num_levels()));
+    for (int l = 0; l < schema->dimension(d).num_levels(); ++l) {
+      levels_[static_cast<size_t>(d)][static_cast<size_t>(l)].names.resize(
+          static_cast<size_t>(schema->dimension(d).cardinality(l)));
+    }
+  }
+}
+
+void MemberCatalog::SetName(int dim, int level, int32_t value,
+                            std::string name) {
+  AAC_CHECK(dim >= 0 && dim < schema_->num_dims());
+  const Dimension& d = schema_->dimension(dim);
+  AAC_CHECK(level >= 0 && level < d.num_levels());
+  AAC_CHECK(value >= 0 && value < d.cardinality(level));
+  AAC_CHECK(!name.empty());
+  LevelNames& ln = levels_[static_cast<size_t>(dim)][static_cast<size_t>(level)];
+  ln.by_name[name] = value;
+  ln.names[static_cast<size_t>(value)] = std::move(name);
+}
+
+std::string MemberCatalog::Name(int dim, int level, int32_t value) const {
+  AAC_CHECK(dim >= 0 && dim < schema_->num_dims());
+  const Dimension& d = schema_->dimension(dim);
+  AAC_CHECK(level >= 0 && level < d.num_levels());
+  AAC_CHECK(value >= 0 && value < d.cardinality(level));
+  const LevelNames& ln =
+      levels_[static_cast<size_t>(dim)][static_cast<size_t>(level)];
+  if (!ln.names[static_cast<size_t>(value)].empty()) {
+    return ln.names[static_cast<size_t>(value)];
+  }
+  std::string fallback = d.level_name(level);
+  fallback += "-";
+  fallback += std::to_string(value);
+  return fallback;
+}
+
+int32_t MemberCatalog::Lookup(int dim, int level,
+                              const std::string& name) const {
+  AAC_CHECK(dim >= 0 && dim < schema_->num_dims());
+  AAC_CHECK(level >= 0 && level < schema_->dimension(dim).num_levels());
+  const auto& by_name =
+      levels_[static_cast<size_t>(dim)][static_cast<size_t>(level)].by_name;
+  auto it = by_name.find(name);
+  return it == by_name.end() ? -1 : it->second;
+}
+
+}  // namespace aac

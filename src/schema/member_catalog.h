@@ -1,0 +1,48 @@
+#ifndef AAC_SCHEMA_MEMBER_CATALOG_H_
+#define AAC_SCHEMA_MEMBER_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace aac {
+
+/// Human-readable names for dimension members.
+///
+/// Value ids are dense integers everywhere in the engine; the catalog maps
+/// (dimension, level, value id) to display labels ("2024-Q1",
+/// "store-0042") for front ends and examples. Unnamed members fall back to
+/// "<level-name>-<id>".
+class MemberCatalog {
+ public:
+  /// `schema` must outlive the catalog.
+  explicit MemberCatalog(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Assigns a label; value must be valid for (dim, level).
+  void SetName(int dim, int level, int32_t value, std::string name);
+
+  /// Label of a member (generated fallback if never set).
+  std::string Name(int dim, int level, int32_t value) const;
+
+  /// Reverse lookup: value id of `name` at (dim, level), or -1. Only finds
+  /// explicitly assigned names.
+  int32_t Lookup(int dim, int level, const std::string& name) const;
+
+ private:
+  struct LevelNames {
+    std::vector<std::string> names;  // "" = unset
+    std::unordered_map<std::string, int32_t> by_name;
+  };
+
+  const Schema* schema_;
+  // [dim][level]
+  std::vector<std::vector<LevelNames>> levels_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_SCHEMA_MEMBER_CATALOG_H_

@@ -1,0 +1,49 @@
+#include "schema/schema.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace aac {
+
+Schema::Schema(std::vector<Dimension> dimensions) : dims_(std::move(dimensions)) {
+  AAC_CHECK(!dims_.empty());
+  AAC_CHECK_LE(dims_.size(), static_cast<size_t>(kMaxDims));
+  base_level_ = LevelVector::Uniform(num_dims(), 0);
+  top_level_ = LevelVector::Uniform(num_dims(), 0);
+  for (int d = 0; d < num_dims(); ++d) {
+    base_level_.Set(d, dims_[static_cast<size_t>(d)].hierarchy_size());
+  }
+}
+
+const Dimension& Schema::dimension(int d) const {
+  AAC_CHECK(d >= 0 && d < num_dims());
+  return dims_[static_cast<size_t>(d)];
+}
+
+bool Schema::IsValidLevel(const LevelVector& level) const {
+  if (level.size() != num_dims()) return false;
+  for (int d = 0; d < num_dims(); ++d) {
+    if (level[d] < 0 || level[d] > dims_[static_cast<size_t>(d)].hierarchy_size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t Schema::NumGroupBys() const {
+  int64_t n = 1;
+  for (const auto& dim : dims_) n *= dim.hierarchy_size() + 1;
+  return n;
+}
+
+int64_t Schema::NumCells(const LevelVector& level) const {
+  AAC_CHECK(IsValidLevel(level));
+  int64_t n = 1;
+  for (int d = 0; d < num_dims(); ++d) {
+    n *= dims_[static_cast<size_t>(d)].cardinality(level[d]);
+  }
+  return n;
+}
+
+}  // namespace aac

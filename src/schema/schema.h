@@ -1,0 +1,47 @@
+#ifndef AAC_SCHEMA_SCHEMA_H_
+#define AAC_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/dimension.h"
+#include "schema/level_vector.h"
+
+namespace aac {
+
+/// A multi-dimensional star schema: a set of dimensions with hierarchies and
+/// one additive measure (the paper's APB-1 `UnitSales`).
+class Schema {
+ public:
+  /// Takes ownership of the dimensions. Requires 1..kMaxDims dimensions.
+  explicit Schema(std::vector<Dimension> dimensions);
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const Dimension& dimension(int d) const;
+
+  /// The most detailed level on every dimension (the fact-table level).
+  const LevelVector& base_level() const { return base_level_; }
+
+  /// The most aggregated level on every dimension (all zeros).
+  const LevelVector& top_level() const { return top_level_; }
+
+  /// True if `level` is a valid group-by level for this schema.
+  bool IsValidLevel(const LevelVector& level) const;
+
+  /// Number of group-bys in the lattice: prod_i (h_i + 1).
+  int64_t NumGroupBys() const;
+
+  /// Number of cells (distinct coordinate combinations) at `level`:
+  /// prod_i cardinality_i(level[i]).
+  int64_t NumCells(const LevelVector& level) const;
+
+ private:
+  std::vector<Dimension> dims_;
+  LevelVector base_level_;
+  LevelVector top_level_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_SCHEMA_SCHEMA_H_

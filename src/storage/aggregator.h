@@ -1,0 +1,63 @@
+#ifndef AAC_STORAGE_AGGREGATOR_H_
+#define AAC_STORAGE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chunks/chunk_grid.h"
+#include "storage/chunk_data.h"
+#include "storage/tuple.h"
+
+namespace aac {
+
+/// Rolls chunk contents up the hierarchy: aggregates cells at a detailed
+/// group-by into one chunk of a more aggregated group-by.
+///
+/// This is the cache's "active" operation — the paper's thesis is that
+/// running this in the middle tier is roughly 8x faster than re-asking the
+/// backend. The aggregator also counts the tuples it processes, which is the
+/// paper's linear cost metric for comparing aggregation paths.
+class Aggregator {
+ public:
+  /// `grid` must outlive the aggregator.
+  explicit Aggregator(const ChunkGrid* grid);
+
+  /// Aggregates `sources` — chunks of group-by `from` — into chunk `chunk`
+  /// of group-by `to`. Requires LevelOf(to) <= LevelOf(from) and that every
+  /// source cell maps into `chunk`. Cells with equal target coordinates are
+  /// summed.
+  ChunkData Aggregate(GroupById from,
+                      const std::vector<const ChunkData*>& sources,
+                      GroupById to, ChunkId chunk);
+
+  /// Same, over a raw span of cells at group-by `from` (used by the backend
+  /// to aggregate straight from fact-table chunk slices).
+  ChunkData AggregateCells(GroupById from, std::span<const Cell> cells,
+                           GroupById to, ChunkId chunk);
+
+  /// Same, over multiple spans folded in one pass (the backend's scan of
+  /// several clustered fact-table chunk slices).
+  ChunkData AggregateSpans(GroupById from,
+                           const std::vector<std::span<const Cell>>& spans,
+                           GroupById to, ChunkId chunk);
+
+  /// Cumulative number of source tuples processed by all calls; the linear
+  /// aggregation cost of the paper's Section 5.
+  int64_t tuples_processed() const { return tuples_processed_; }
+
+  /// Resets the tuples_processed() counter.
+  void ResetCounters() { tuples_processed_ = 0; }
+
+ private:
+  void FoldSpans(GroupById from,
+                 const std::vector<std::span<const Cell>>& spans, GroupById to,
+                 ChunkId chunk, std::vector<Cell>* accumulator) const;
+
+  const ChunkGrid* grid_;
+  int64_t tuples_processed_ = 0;
+};
+
+}  // namespace aac
+
+#endif  // AAC_STORAGE_AGGREGATOR_H_

@@ -1,0 +1,39 @@
+#include "storage/chunk_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aac {
+
+void CanonicalizeChunkData(int num_dims, ChunkData* data) {
+  std::sort(data->cells.begin(), data->cells.end(), CellValueLess{num_dims});
+}
+
+bool ChunkDataEquals(int num_dims, ChunkData* a, ChunkData* b, double epsilon) {
+  if (a->cells.size() != b->cells.size()) return false;
+  CanonicalizeChunkData(num_dims, a);
+  CanonicalizeChunkData(num_dims, b);
+  for (size_t i = 0; i < a->cells.size(); ++i) {
+    for (int d = 0; d < num_dims; ++d) {
+      if (a->cells[i].values[static_cast<size_t>(d)] !=
+          b->cells[i].values[static_cast<size_t>(d)]) {
+        return false;
+      }
+    }
+    if (std::abs(a->cells[i].measure - b->cells[i].measure) > epsilon) {
+      return false;
+    }
+    // Compare the rest of the aggregate state when both sides carry it
+    // (hand-built sum-only cells leave count at 0).
+    if (a->cells[i].count > 0 && b->cells[i].count > 0) {
+      if (a->cells[i].count != b->cells[i].count ||
+          std::abs(a->cells[i].min - b->cells[i].min) > epsilon ||
+          std::abs(a->cells[i].max - b->cells[i].max) > epsilon) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace aac

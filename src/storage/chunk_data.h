@@ -1,0 +1,41 @@
+#ifndef AAC_STORAGE_CHUNK_DATA_H_
+#define AAC_STORAGE_CHUNK_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chunks/chunk_grid.h"
+#include "storage/tuple.h"
+
+namespace aac {
+
+/// The materialized contents of one chunk: the non-empty cells of a group-by
+/// that fall inside the chunk's value ranges. This is the unit the cache
+/// stores and the aggregator consumes/produces.
+struct ChunkData {
+  GroupById gb = -1;
+  ChunkId chunk = -1;
+  std::vector<Cell> cells;
+
+  int64_t tuple_count() const { return static_cast<int64_t>(cells.size()); }
+
+  /// Logical size used for cache-capacity accounting. Matches the paper's
+  /// 20-byte fact tuples by default (configured via the size model, not
+  /// in-memory sizeof, so experiments are comparable to the paper's MB
+  /// figures).
+  int64_t LogicalBytes(int64_t bytes_per_tuple) const {
+    return tuple_count() * bytes_per_tuple;
+  }
+};
+
+/// Sorts cells by value ids (canonical order for comparisons).
+void CanonicalizeChunkData(int num_dims, ChunkData* data);
+
+/// True if both chunks hold the same cells with measures equal within
+/// `epsilon`. Both inputs are canonicalized by the call.
+bool ChunkDataEquals(int num_dims, ChunkData* a, ChunkData* b,
+                     double epsilon = 1e-6);
+
+}  // namespace aac
+
+#endif  // AAC_STORAGE_CHUNK_DATA_H_

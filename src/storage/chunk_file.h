@@ -1,0 +1,69 @@
+#ifndef AAC_STORAGE_CHUNK_FILE_H_
+#define AAC_STORAGE_CHUNK_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "storage/fact_table.h"
+
+namespace aac {
+
+/// On-disk chunked file organization for the fact table.
+///
+/// The paper stored its fact data "by building a clustered index on the
+/// chunk number for the fact file"; this is the equivalent native format:
+/// a header, a per-chunk offset directory (the clustered index), and the
+/// tuple payload in chunk order, so any chunk's tuples are one contiguous
+/// file extent. A payload checksum detects corruption/truncation.
+///
+/// Format (little-endian):
+///   magic "AACF" | u32 version | u32 num_dims | i64 num_chunks
+///   | i64 num_tuples | u64 payload_checksum
+///   | (num_chunks + 1) x i64 tuple offsets
+///   | num_tuples x { num_dims x i32 values, f64 sum, i64 count,
+///                    f64 min, f64 max }
+class ChunkFileWriter {
+ public:
+  /// Serializes `table` to `path`. Returns false on I/O failure.
+  static bool Write(const FactTable& table, const std::string& path);
+};
+
+/// Reader over a chunked fact file. Loads the directory eagerly and chunk
+/// payloads on demand.
+class ChunkFileReader {
+ public:
+  ChunkFileReader() = default;
+  ~ChunkFileReader();
+
+  ChunkFileReader(const ChunkFileReader&) = delete;
+  ChunkFileReader& operator=(const ChunkFileReader&) = delete;
+
+  /// Opens and validates header, directory and payload checksum.
+  /// `expected_dims` guards against reading a file for a different schema.
+  /// Returns false (with a message on stderr) on any validation failure.
+  bool Open(const std::string& path, int expected_dims);
+
+  int64_t num_chunks() const { return num_chunks_; }
+  int64_t num_tuples() const { return num_tuples_; }
+  int num_dims() const { return num_dims_; }
+
+  /// Reads the tuples of one chunk (one contiguous file extent).
+  std::vector<Cell> ReadChunk(ChunkId chunk) const;
+
+  /// Reads the whole table (e.g. to rebuild a FactTable at startup).
+  std::vector<Cell> ReadAll() const;
+
+ private:
+  std::FILE* file_ = nullptr;
+  int num_dims_ = 0;
+  int64_t num_chunks_ = 0;
+  int64_t num_tuples_ = 0;
+  std::vector<int64_t> offsets_;  // tuple index per chunk, num_chunks_+1
+  int64_t payload_start_ = 0;
+};
+
+}  // namespace aac
+
+#endif  // AAC_STORAGE_CHUNK_FILE_H_

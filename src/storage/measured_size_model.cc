@@ -1,0 +1,75 @@
+#include "storage/measured_size_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace aac {
+
+MeasuredChunkSizeModel::MeasuredChunkSizeModel(const ChunkGrid* grid,
+                                               const FactTable* table,
+                                               int64_t bytes_per_tuple)
+    : ChunkSizeModel(grid, table->num_tuples(), bytes_per_tuple) {
+  const Lattice& lattice = grid->lattice();
+  const Schema& schema = grid->schema();
+  const LevelVector& base_lv = schema.base_level();
+  const int nd = schema.num_dims();
+
+  offsets_.assign(static_cast<size_t>(lattice.num_groupbys()) + 1, 0);
+  for (GroupById gb = 0; gb < lattice.num_groupbys(); ++gb) {
+    offsets_[static_cast<size_t>(gb) + 1] =
+        offsets_[static_cast<size_t>(gb)] + grid->NumChunks(gb);
+  }
+  chunk_tuples_.assign(static_cast<size_t>(offsets_.back()), 0);
+  gb_tuples_.assign(static_cast<size_t>(lattice.num_groupbys()), 0);
+
+  // Per group-by: map every fact tuple to (cell id, chunk id) at that
+  // level, sort by cell id, and count distinct cells per chunk.
+  std::vector<std::pair<int64_t, int64_t>> keys;
+  keys.reserve(static_cast<size_t>(table->num_tuples()));
+  for (GroupById gb = 0; gb < lattice.num_groupbys(); ++gb) {
+    const LevelVector& lv = lattice.LevelOf(gb);
+    // Mixed-radix strides over the level's cardinalities.
+    std::array<int64_t, kMaxDims> strides{};
+    int64_t cells = 1;
+    for (int d = nd - 1; d >= 0; --d) {
+      strides[static_cast<size_t>(d)] = cells;
+      cells *= schema.dimension(d).cardinality(lv[d]);
+    }
+    keys.clear();
+    std::array<int32_t, kMaxDims> mapped{};
+    for (const Cell& t : table->tuples()) {
+      int64_t cell_id = 0;
+      for (int d = 0; d < nd; ++d) {
+        mapped[static_cast<size_t>(d)] = schema.dimension(d).AncestorValue(
+            base_lv[d], t.values[static_cast<size_t>(d)], lv[d]);
+        cell_id += mapped[static_cast<size_t>(d)] *
+                   strides[static_cast<size_t>(d)];
+      }
+      keys.emplace_back(cell_id, grid->ChunkOfCell(gb, mapped.data()));
+    }
+    std::sort(keys.begin(), keys.end());
+    int64_t distinct = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0 && keys[i].first == keys[i - 1].first) continue;
+      ++distinct;
+      ++chunk_tuples_[static_cast<size_t>(offsets_[static_cast<size_t>(gb)] +
+                                          keys[i].second)];
+    }
+    gb_tuples_[static_cast<size_t>(gb)] = distinct;
+  }
+}
+
+double MeasuredChunkSizeModel::ExpectedChunkTuples(GroupById gb,
+                                                   ChunkId chunk) const {
+  AAC_DCHECK(chunk >= 0 && chunk < grid()->NumChunks(gb));
+  return static_cast<double>(
+      chunk_tuples_[static_cast<size_t>(offsets_[static_cast<size_t>(gb)] +
+                                        chunk)]);
+}
+
+double MeasuredChunkSizeModel::ExpectedGroupByTuples(GroupById gb) const {
+  return static_cast<double>(gb_tuples_[static_cast<size_t>(gb)]);
+}
+
+}  // namespace aac

@@ -1,0 +1,69 @@
+#ifndef AAC_STORAGE_TUPLE_H_
+#define AAC_STORAGE_TUPLE_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "schema/level_vector.h"
+
+namespace aac {
+
+/// One materialized cell of a group-by: per-dimension value ids (at the
+/// owning group-by's level) plus the aggregate state of the measure.
+///
+/// The paper's workload asks only for SUM(UnitSales); this library caches
+/// the full distributive state — sum, contributing-tuple count, min and max
+/// — so one cached chunk answers SUM, COUNT, MIN, MAX and the algebraic AVG
+/// (= sum/count) without separate cache entries per function. Rolling up
+/// merges states cell-wise, which keeps every aggregate exact at every
+/// lattice level.
+///
+/// The same struct represents fact-table tuples (cells at the base level).
+struct Cell {
+  std::array<int32_t, kMaxDims> values{};
+
+  /// SUM of the measure over the fact tuples this cell aggregates.
+  double measure = 0.0;
+
+  /// Number of contributing fact tuples (0 for hand-built sum-only cells).
+  int64_t count = 0;
+
+  /// MIN/MAX of the measure over contributing fact tuples.
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// Initializes a cell's aggregate state from one raw measure value.
+inline void InitCellAggregates(Cell& cell, double value) {
+  cell.measure = value;
+  cell.count = 1;
+  cell.min = value;
+  cell.max = value;
+}
+
+/// Merges `src`'s aggregate state into `dst` (the cell-wise rollup step).
+inline void MergeCellAggregates(Cell& dst, const Cell& src) {
+  dst.measure += src.measure;
+  dst.count += src.count;
+  if (src.min < dst.min) dst.min = src.min;
+  if (src.max > dst.max) dst.max = src.max;
+}
+
+/// Lexicographic comparison over the first `num_dims` value ids; used to
+/// canonicalize cell order in tests and the fact table.
+struct CellValueLess {
+  int num_dims;
+  bool operator()(const Cell& a, const Cell& b) const {
+    for (int d = 0; d < num_dims; ++d) {
+      if (a.values[static_cast<size_t>(d)] != b.values[static_cast<size_t>(d)]) {
+        return a.values[static_cast<size_t>(d)] < b.values[static_cast<size_t>(d)];
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace aac
+
+#endif  // AAC_STORAGE_TUPLE_H_

@@ -1,0 +1,53 @@
+#ifndef AAC_UTIL_CHECK_H_
+#define AAC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight assertion macros.
+//
+// The library does not use exceptions (per the project style); invariant
+// violations and programmer errors terminate the process with a message that
+// names the failing condition and source location. `AAC_CHECK` is always on;
+// `AAC_DCHECK` compiles away in NDEBUG builds and is meant for hot paths.
+
+#define AAC_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "AAC_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define AAC_CHECK_OP(a, b, op)                                             \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      std::fprintf(stderr, "AAC_CHECK failed: %s %s %s at %s:%d\n", #a,    \
+                   #op, #b, __FILE__, __LINE__);                           \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define AAC_CHECK_EQ(a, b) AAC_CHECK_OP(a, b, ==)
+#define AAC_CHECK_NE(a, b) AAC_CHECK_OP(a, b, !=)
+#define AAC_CHECK_LT(a, b) AAC_CHECK_OP(a, b, <)
+#define AAC_CHECK_LE(a, b) AAC_CHECK_OP(a, b, <=)
+#define AAC_CHECK_GT(a, b) AAC_CHECK_OP(a, b, >)
+#define AAC_CHECK_GE(a, b) AAC_CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define AAC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#define AAC_DCHECK_EQ(a, b) AAC_DCHECK((a) == (b))
+#define AAC_DCHECK_LT(a, b) AAC_DCHECK((a) < (b))
+#define AAC_DCHECK_LE(a, b) AAC_DCHECK((a) <= (b))
+#else
+#define AAC_DCHECK(cond) AAC_CHECK(cond)
+#define AAC_DCHECK_EQ(a, b) AAC_CHECK_EQ(a, b)
+#define AAC_DCHECK_LT(a, b) AAC_CHECK_LT(a, b)
+#define AAC_DCHECK_LE(a, b) AAC_CHECK_LE(a, b)
+#endif
+
+#endif  // AAC_UTIL_CHECK_H_

@@ -1,0 +1,40 @@
+#ifndef AAC_UTIL_SIM_CLOCK_H_
+#define AAC_UTIL_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace aac {
+
+/// Accumulates *simulated* time.
+///
+/// The paper measured a middle tier talking to a remote commercial RDBMS.
+/// This reproduction runs everything in one process: middle-tier work is
+/// measured with a real `Stopwatch`, while the backend charges synthetic
+/// latency (network round trip + SQL execution estimate) into a `SimClock`.
+/// Experiment harnesses report the sum of real and simulated time, so the
+/// relative shapes of the paper's figures are preserved without an actual
+/// remote database. See DESIGN.md ("Substitutions").
+class SimClock {
+ public:
+  /// Adds `nanos` of simulated elapsed time. Negative charges are invalid
+  /// and ignored.
+  void Charge(int64_t nanos) {
+    if (nanos > 0) total_nanos_ += nanos;
+  }
+
+  /// Total simulated nanoseconds charged so far.
+  int64_t TotalNanos() const { return total_nanos_; }
+
+  /// Total simulated milliseconds (fractional).
+  double TotalMillis() const { return static_cast<double>(total_nanos_) / 1e6; }
+
+  /// Resets the accumulated time to zero.
+  void Reset() { total_nanos_ = 0; }
+
+ private:
+  int64_t total_nanos_ = 0;
+};
+
+}  // namespace aac
+
+#endif  // AAC_UTIL_SIM_CLOCK_H_

@@ -1,0 +1,79 @@
+#ifndef AAC_UTIL_STATS_H_
+#define AAC_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aac {
+
+/// Streaming min/max/sum/count accumulator for experiment reporting.
+class StatAccumulator {
+ public:
+  void Add(double v) {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    sum_ += v;
+    ++count_;
+  }
+
+  /// Merges another accumulator into this one.
+  void Merge(const StatAccumulator& other) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+/// Stores all samples so percentiles can be reported; use for modest sample
+/// counts (experiment harnesses), not hot paths.
+class SampleSet {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    acc_.Add(v);
+  }
+
+  const StatAccumulator& stats() const { return acc_; }
+  int64_t count() const { return acc_.count(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
+  double mean() const { return acc_.mean(); }
+
+  /// p in [0, 1]; nearest-rank percentile.
+  double Percentile(double p) const {
+    AAC_CHECK(!samples_.empty());
+    AAC_CHECK(p >= 0.0 && p <= 1.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[rank];
+  }
+
+ private:
+  std::vector<double> samples_;
+  StatAccumulator acc_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_UTIL_STATS_H_

@@ -1,0 +1,39 @@
+#ifndef AAC_UTIL_STOPWATCH_H_
+#define AAC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace aac {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+///
+/// Used by the query engine to attribute time to the lookup, aggregation and
+/// update phases, mirroring the per-phase breakdown in the paper's Figure 10.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Milliseconds (fractional) since construction or the last Reset().
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_UTIL_STOPWATCH_H_

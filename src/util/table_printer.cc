@@ -1,0 +1,53 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace aac {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AAC_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  AAC_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    out += "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  std::string out;
+  append_row(out, headers_);
+  out += "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace aac

@@ -1,0 +1,37 @@
+#ifndef AAC_UTIL_TABLE_PRINTER_H_
+#define AAC_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace aac {
+
+/// Renders rows of strings as an aligned ASCII table on stdout.
+///
+/// The experiment binaries in bench/ use this to print rows in the same
+/// layout as the paper's tables (e.g. Table 1 "Lookup times (ms)").
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats the table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Helper: formats a double with `digits` decimal places.
+  static std::string Fmt(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aac {
+
+ZipfSampler::ZipfSampler(int64_t n, double theta) : n_(n), theta_(theta) {
+  AAC_CHECK_GT(n, 0);
+  AAC_CHECK_GE(theta, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[static_cast<size_t>(i)] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+int64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+}  // namespace aac

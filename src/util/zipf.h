@@ -1,0 +1,35 @@
+#ifndef AAC_UTIL_ZIPF_H_
+#define AAC_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aac {
+
+/// Samples integers in [0, n) with a Zipf(theta) distribution.
+///
+/// Used by the synthetic data generator to skew fact-table tuples toward
+/// popular dimension values, which mirrors the clustering present in real
+/// OLAP data. theta = 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  /// Builds the inverse-CDF table; O(n) setup, O(log n) per sample.
+  ZipfSampler(int64_t n, double theta);
+
+  /// Draws one sample in [0, n).
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace aac
+
+#endif  // AAC_UTIL_ZIPF_H_

@@ -1,0 +1,44 @@
+#include "workload/apb_schema.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+ApbCube::ApbCube(const ApbConfig& config) : config_(config) {
+  AAC_CHECK_GE(config.scale, 1);
+  const int64_t s = config.scale;
+
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Uniform(
+      "product", 3, {2, 2, 4, 2, 4, 2 * s},
+      {"division", "line", "family", "group", "class", "subclass", "code"}));
+  dims.push_back(Dimension::Uniform("customer", 5, {6, 8 * s},
+                                    {"retailer", "chain", "store"}));
+  dims.push_back(Dimension::Uniform("time", 2, {4, 3, 4 * s},
+                                    {"year", "quarter", "month", "week"}));
+  dims.push_back(Dimension::Uniform("channel", 1, {10}, {"all", "base"}));
+  dims.push_back(
+      Dimension::Uniform("scenario", 1, {2}, {"all", "scenario"}));
+  schema_ = std::make_unique<Schema>(std::move(dims));
+  lattice_ = std::make_unique<Lattice>(schema_.get());
+
+  // Values per chunk, per level: hierarchy-aligned (each chunk at level l
+  // maps to a whole number of chunks at level l+1 for every scale).
+  const std::vector<std::vector<int32_t>> vpc = {
+      {3, 6, 6, 12, 12, 24, 24},  // product: chunks 1,1,2,4,8,16,32s
+      {5, 15, 60},                // customer: chunks 1,2,4s
+      {2, 4, 6, 12},              // time: chunks 1,2,4,8s
+      {1, 5},                     // channel: chunks 1,2
+      {1, 2},                     // scenario: chunks 1,1
+  };
+  std::vector<const DimensionChunkLayout*> ptrs;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    layouts_.push_back(std::make_unique<DimensionChunkLayout>(
+        DimensionChunkLayout::UniformValuesPerChunk(
+            &schema_->dimension(d), vpc[static_cast<size_t>(d)])));
+    ptrs.push_back(layouts_.back().get());
+  }
+  grid_ = std::make_unique<ChunkGrid>(lattice_.get(), std::move(ptrs));
+}
+
+}  // namespace aac

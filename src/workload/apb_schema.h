@@ -1,0 +1,60 @@
+#ifndef AAC_WORKLOAD_APB_SCHEMA_H_
+#define AAC_WORKLOAD_APB_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chunks/chunk_grid.h"
+#include "chunks/chunk_layout.h"
+#include "schema/lattice.h"
+#include "schema/schema.h"
+#include "workload/cube.h"
+
+namespace aac {
+
+/// Scale of the APB-1-like cube. `scale = 1` is the default laptop-friendly
+/// size; the *structure* (dimensions, hierarchy sizes, lattice shape) always
+/// matches the paper's APB-1 setup: hierarchy sizes 6, 2, 3, 1, 1 giving
+/// (6+1)(2+1)(3+1)(1+1)(1+1) = 336 group-bys.
+struct ApbConfig {
+  /// Multiplies leaf cardinalities of Product, Customer and Time (powers of
+  /// two keep chunk layouts aligned). 1 => 768 products, 240 customers,
+  /// 96 time leaves, 10 channels, 2 scenarios; 2048 base chunks; 40320
+  /// chunks over all levels (paper: 32256).
+  int32_t scale = 1;
+};
+
+/// The APB-1-like multidimensional schema with hierarchy-aligned chunk
+/// layouts: the workload substrate of every experiment (paper Section 7).
+///
+/// Dimensions (level 0 = most aggregated .. level h = leaf):
+///   Product  h=6: division(3) line(6) family(12) group(48) class(96)
+///                 subclass(384) code(768)          x scale at the leaves
+///   Customer h=2: retailer(5) chain(30) store(240)
+///   Time     h=3: year(2) quarter(8) month(24) week(96)
+///   Channel  h=1: all(1) base(10)
+///   Scenario h=1: all(1) scenario(2)
+class ApbCube : public Cube {
+ public:
+  explicit ApbCube(const ApbConfig& config = ApbConfig());
+
+  ApbCube(const ApbCube&) = delete;
+  ApbCube& operator=(const ApbCube&) = delete;
+
+  const ApbConfig& config() const { return config_; }
+  const Schema& schema() const override { return *schema_; }
+  const Lattice& lattice() const override { return *lattice_; }
+  const ChunkGrid& grid() const override { return *grid_; }
+
+ private:
+  ApbConfig config_;
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<Lattice> lattice_;
+  std::vector<std::unique_ptr<DimensionChunkLayout>> layouts_;
+  std::unique_ptr<ChunkGrid> grid_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_APB_SCHEMA_H_

@@ -1,0 +1,179 @@
+#include "workload/csv_loader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace aac {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    const size_t pos = line.find(delimiter, start);
+    const size_t end = pos == std::string::npos ? line.size() : pos;
+    size_t b = start;
+    size_t e = end;
+    while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+    fields.push_back(line.substr(b, e - b));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return fields;
+}
+
+CsvLoadResult Fail(int lineno, std::string message) {
+  CsvLoadResult result;
+  result.error = "line " + std::to_string(lineno) + ": " + std::move(message);
+  return result;
+}
+
+}  // namespace
+
+CsvLoadResult LoadFactCsv(const Schema& schema, const MemberCatalog* catalog,
+                          const std::string& path, char delimiter) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    CsvLoadResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+
+  const int nd = schema.num_dims();
+  const LevelVector& base = schema.base_level();
+
+  CsvLoadResult result;
+  char buf[8192];
+  int lineno = 0;
+  // column index -> dimension index, or -1 for the measure column.
+  std::vector<int> column_dims;
+  bool header_seen = false;
+
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++lineno;
+    if (char* hash = std::strchr(buf, '#')) *hash = '\0';
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    std::vector<std::string> fields = SplitLine(line, delimiter);
+
+    if (!header_seen) {
+      header_seen = true;
+      int measure_columns = 0;
+      std::vector<bool> dim_seen(static_cast<size_t>(nd), false);
+      for (const std::string& name : fields) {
+        if (name == "measure") {
+          column_dims.push_back(-1);
+          ++measure_columns;
+          continue;
+        }
+        int dim = -2;
+        for (int d = 0; d < nd; ++d) {
+          if (schema.dimension(d).name() == name) {
+            dim = d;
+            break;
+          }
+        }
+        if (dim < 0) {
+          std::fclose(f);
+          return Fail(lineno, "unknown column '" + name + "'");
+        }
+        if (dim_seen[static_cast<size_t>(dim)]) {
+          std::fclose(f);
+          return Fail(lineno, "duplicate column '" + name + "'");
+        }
+        dim_seen[static_cast<size_t>(dim)] = true;
+        column_dims.push_back(dim);
+      }
+      if (measure_columns != 1 ||
+          static_cast<int>(column_dims.size()) != nd + 1) {
+        std::fclose(f);
+        return Fail(lineno,
+                    "header must name every dimension plus one 'measure'");
+      }
+      continue;
+    }
+
+    if (fields.size() != column_dims.size()) {
+      std::fclose(f);
+      return Fail(lineno, "expected " + std::to_string(column_dims.size()) +
+                              " fields, got " +
+                              std::to_string(fields.size()));
+    }
+    Cell cell;
+    double measure = 0;
+    for (size_t col = 0; col < fields.size(); ++col) {
+      const std::string& field = fields[col];
+      const int dim = column_dims[col];
+      if (dim == -1) {
+        char* end = nullptr;
+        measure = std::strtod(field.c_str(), &end);
+        if (end == field.c_str() || *end != '\0') {
+          std::fclose(f);
+          return Fail(lineno, "bad measure '" + field + "'");
+        }
+        continue;
+      }
+      const int level = base[dim];
+      // Integer member id, or a catalog name.
+      char* end = nullptr;
+      long value = std::strtol(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        value = catalog != nullptr ? catalog->Lookup(dim, level, field) : -1;
+        if (value < 0) {
+          std::fclose(f);
+          return Fail(lineno, "unknown member '" + field + "' for " +
+                                  schema.dimension(dim).name());
+        }
+      }
+      if (value < 0 || value >= schema.dimension(dim).cardinality(level)) {
+        std::fclose(f);
+        return Fail(lineno, "member id " + std::to_string(value) +
+                                " out of range for " +
+                                schema.dimension(dim).name());
+      }
+      cell.values[static_cast<size_t>(dim)] = static_cast<int32_t>(value);
+    }
+    InitCellAggregates(cell, measure);
+    result.cells.push_back(cell);
+    ++result.rows;
+  }
+  std::fclose(f);
+  if (!header_seen) {
+    result.error = "empty file (no header)";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+bool WriteFactCsv(const Schema& schema, const std::vector<Cell>& cells,
+                  const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "csv: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    ok = ok && std::fprintf(f, "%s%s", d > 0 ? "," : "",
+                            schema.dimension(d).name().c_str()) > 0;
+  }
+  ok = ok && std::fprintf(f, ",measure\n") > 0;
+  for (const Cell& cell : cells) {
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      ok = ok && std::fprintf(f, "%s%d", d > 0 ? "," : "",
+                              cell.values[static_cast<size_t>(d)]) > 0;
+    }
+    ok = ok && std::fprintf(f, ",%.17g\n", cell.measure) > 0;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace aac

@@ -1,0 +1,42 @@
+#ifndef AAC_WORKLOAD_CSV_LOADER_H_
+#define AAC_WORKLOAD_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/member_catalog.h"
+#include "schema/schema.h"
+#include "storage/tuple.h"
+
+namespace aac {
+
+/// Result of a CSV fact load.
+struct CsvLoadResult {
+  bool ok = false;
+  std::vector<Cell> cells;
+  int64_t rows = 0;
+  std::string error;  // set when !ok, with a line number
+};
+
+/// Loads fact tuples from a CSV file, so users can feed their own data
+/// instead of the synthetic generator.
+///
+/// The header row names the columns: one per dimension (matched to
+/// dimension names, case-sensitive) plus a `measure` column; column order
+/// is free, extra columns are an error. Dimension values are leaf-level
+/// member ids (integers), or member names when `catalog` is non-null and
+/// has the name registered. Blank lines and `#` comment lines are
+/// skipped. Duplicate cells are fine — FactTable merges them.
+CsvLoadResult LoadFactCsv(const Schema& schema, const MemberCatalog* catalog,
+                          const std::string& path, char delimiter = ',');
+
+/// Writes fact tuples as CSV in the format LoadFactCsv reads (dimension
+/// columns in schema order, then `measure`). Cells with count > 1 are
+/// written as one row per cell with the summed measure. Returns false on
+/// I/O failure.
+bool WriteFactCsv(const Schema& schema, const std::vector<Cell>& cells,
+                  const std::string& path);
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_CSV_LOADER_H_

@@ -1,0 +1,25 @@
+#ifndef AAC_WORKLOAD_CUBE_H_
+#define AAC_WORKLOAD_CUBE_H_
+
+#include "chunks/chunk_grid.h"
+#include "schema/lattice.h"
+#include "schema/schema.h"
+
+namespace aac {
+
+/// A fully wired multidimensional cube: schema + lattice + chunk grid with
+/// consistent lifetimes. Canned implementations: ApbCube (the paper's
+/// benchmark shape) and WebCube (the generality test bed); applications
+/// subclass to bring their own schema.
+class Cube {
+ public:
+  virtual ~Cube() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual const Lattice& lattice() const = 0;
+  virtual const ChunkGrid& grid() const = 0;
+};
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_CUBE_H_

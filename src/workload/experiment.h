@@ -1,0 +1,116 @@
+#ifndef AAC_WORKLOAD_EXPERIMENT_H_
+#define AAC_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "backend/backend.h"
+#include "cache/benefit.h"
+#include "cache/chunk_cache.h"
+#include "cache/preloader.h"
+#include "cache/replacement.h"
+#include "chunks/chunk_size_model.h"
+#include "core/query_engine.h"
+#include "core/strategy.h"
+#include "storage/fact_table.h"
+#include "util/sim_clock.h"
+#include "workload/apb_schema.h"
+#include "workload/cube.h"
+#include "workload/data_generator.h"
+
+namespace aac {
+
+/// Which lookup strategy an experiment runs.
+enum class StrategyKind { kNoAgg, kEsm, kEsmc, kVcm, kVcmc, kMemoEsmc };
+const char* StrategyKindName(StrategyKind kind);
+
+/// Which replacement policy the cache uses.
+enum class PolicyKind { kBenefit, kTwoLevel, kLru, kSizeAware };
+const char* PolicyKindName(PolicyKind kind);
+
+/// Which canned cube an experiment runs on.
+enum class CubeKind { kApb, kWeb };
+const char* CubeKindName(CubeKind kind);
+
+/// Everything needed to stand up one experiment configuration.
+struct ExperimentConfig {
+  CubeKind cube = CubeKind::kApb;
+  ApbConfig apb;  // used when cube == kApb
+  DataGenConfig data;
+
+  /// Explicit fact tuples (e.g. from LoadFactCsv); when non-empty they are
+  /// used instead of the synthetic generator and `data` is ignored.
+  std::vector<Cell> cells;
+
+  /// Cache capacity as a fraction of the base table's logical size — the
+  /// paper swept 10–25 MB against a 22 MB base table, i.e. 0.45..1.13.
+  double cache_fraction = 0.68;
+
+  /// Logical bytes per cached tuple (paper: 20-byte fact tuples).
+  int64_t bytes_per_tuple = 20;
+
+  /// Use exact measured chunk sizes (one aggregation pass per group-by at
+  /// setup) instead of the analytic occupancy model. Improves cost-based
+  /// path choices on correlated data; see storage/measured_size_model.h.
+  bool measured_sizes = false;
+
+  StrategyKind strategy = StrategyKind::kVcmc;
+  PolicyKind policy = PolicyKind::kTwoLevel;
+  QueryEngine::Config engine;
+
+  /// Run the two-level policy's preload rule (group-by with most
+  /// descendants that fits) before the workload.
+  bool preload = false;
+
+  /// ESMC search budget (node visits per lookup).
+  int64_t esmc_budget = 20'000'000;
+};
+
+/// Owns a fully wired middle tier + backend for one experiment
+/// configuration: cube, fact table, size/benefit models, cache, strategy
+/// (listener attached), and query engine.
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const Cube& cube() const { return *cube_; }
+  const Schema& schema() const { return cube_->schema(); }
+  const Lattice& lattice() const { return cube_->lattice(); }
+  const ChunkGrid& grid() const { return cube_->grid(); }
+  const FactTable& table() const { return *table_; }
+
+  /// Mutable access for fact-table updates; pair with
+  /// core/invalidation.h's ApplyFactUpdates to keep the cache coherent.
+  FactTable* mutable_table() { return table_.get(); }
+  const ChunkSizeModel& size_model() const { return *size_model_; }
+  const BenefitModel& benefit() const { return *benefit_; }
+  BackendServer& backend() { return *backend_; }
+  ChunkCache& cache() { return *cache_; }
+  LookupStrategy& strategy() { return *strategy_; }
+  QueryEngine& engine() { return *engine_; }
+  SimClock& sim_clock() { return *clock_; }
+
+  /// Capacity in bytes the cache was built with.
+  int64_t cache_bytes() const { return cache_->capacity_bytes(); }
+
+  /// Runs the preload rule; returns what was loaded.
+  PreloadResult Preload();
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<Cube> cube_;
+  std::unique_ptr<FactTable> table_;
+  std::unique_ptr<ChunkSizeModel> size_model_;
+  std::unique_ptr<BenefitModel> benefit_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<BackendServer> backend_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unique_ptr<ChunkCache> cache_;
+  std::unique_ptr<LookupStrategy> strategy_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_EXPERIMENT_H_

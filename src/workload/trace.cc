@@ -1,0 +1,165 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace aac {
+
+namespace {
+
+const char* KindToken(QueryKind kind) { return QueryKindName(kind); }
+
+bool KindFromToken(const std::string& token, QueryKind* kind) {
+  for (QueryKind k : {QueryKind::kRandom, QueryKind::kDrillDown,
+                      QueryKind::kRollUp, QueryKind::kProximity}) {
+    if (token == QueryKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FnFromToken(const std::string& token, AggregateFunction* fn) {
+  for (AggregateFunction f :
+       {AggregateFunction::kSum, AggregateFunction::kCount,
+        AggregateFunction::kMin, AggregateFunction::kMax,
+        AggregateFunction::kAvg}) {
+    if (token == AggregateFunctionName(f)) {
+      *fn = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool QueryTrace::Write(const std::string& path,
+                       const std::vector<QueryStreamEntry>& stream) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  bool ok =
+      std::fprintf(f, "# aac query trace: kind fn (levels) ranges\n") > 0;
+  for (const QueryStreamEntry& entry : stream) {
+    const Query& q = entry.query;
+    ok = ok && std::fprintf(f, "%s %s %s ", KindToken(entry.kind),
+                            AggregateFunctionName(q.fn),
+                            q.level.ToString().c_str()) > 0;
+    for (int d = 0; d < q.level.size(); ++d) {
+      ok = ok && std::fprintf(f, "%s%d:%d", d > 0 ? "," : "",
+                              q.ranges[static_cast<size_t>(d)].first,
+                              q.ranges[static_cast<size_t>(d)].second) > 0;
+    }
+    ok = ok && std::fprintf(f, "\n") > 0;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::vector<QueryStreamEntry> QueryTrace::Read(const std::string& path,
+                                               const Schema& schema,
+                                               bool* ok) {
+  *ok = false;
+  std::vector<QueryStreamEntry> stream;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s\n", path.c_str());
+    return stream;
+  }
+  char line[4096];
+  int lineno = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    if (char* hash = std::strchr(line, '#')) *hash = '\0';
+    std::string text(line);
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+
+    char kind_buf[32];
+    char fn_buf[16];
+    char level_buf[256];
+    char ranges_buf[2048];
+    if (std::sscanf(text.c_str(), "%31s %15s %255s %2047s", kind_buf, fn_buf,
+                    level_buf, ranges_buf) != 4) {
+      std::fprintf(stderr, "trace: %s:%d malformed line\n", path.c_str(),
+                   lineno);
+      std::fclose(f);
+      return {};
+    }
+    QueryStreamEntry entry;
+    if (!KindFromToken(kind_buf, &entry.kind) ||
+        !FnFromToken(fn_buf, &entry.query.fn)) {
+      std::fprintf(stderr, "trace: %s:%d bad kind or fn\n", path.c_str(),
+                   lineno);
+      std::fclose(f);
+      return {};
+    }
+    // Parse "(l0,l1,...)".
+    entry.query.level = LevelVector::Uniform(schema.num_dims(), 0);
+    {
+      const char* p = level_buf;
+      if (*p++ != '(') p = nullptr;
+      for (int d = 0; p != nullptr && d < schema.num_dims(); ++d) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p) {
+          p = nullptr;
+          break;
+        }
+        entry.query.level.Set(d, static_cast<int>(v));
+        p = end;
+        if (*p == ',' || *p == ')') ++p;
+      }
+      if (p == nullptr || !schema.IsValidLevel(entry.query.level)) {
+        std::fprintf(stderr, "trace: %s:%d bad level vector\n", path.c_str(),
+                     lineno);
+        std::fclose(f);
+        return {};
+      }
+    }
+    // Parse "lo:hi,lo:hi,...".
+    {
+      const char* p = ranges_buf;
+      for (int d = 0; d < schema.num_dims(); ++d) {
+        char* end = nullptr;
+        const long lo = std::strtol(p, &end, 10);
+        if (end == p || *end != ':') {
+          p = nullptr;
+          break;
+        }
+        p = end + 1;
+        const long hi = std::strtol(p, &end, 10);
+        if (end == p) {
+          p = nullptr;
+          break;
+        }
+        p = end;
+        if (*p == ',') ++p;
+        const auto card = static_cast<int32_t>(
+            schema.dimension(d).cardinality(entry.query.level[d]));
+        if (lo < 0 || lo >= hi || hi > card) {
+          p = nullptr;
+          break;
+        }
+        entry.query.ranges[static_cast<size_t>(d)] = {
+            static_cast<int32_t>(lo), static_cast<int32_t>(hi)};
+      }
+      if (p == nullptr) {
+        std::fprintf(stderr, "trace: %s:%d bad ranges\n", path.c_str(),
+                     lineno);
+        std::fclose(f);
+        return {};
+      }
+    }
+    stream.push_back(entry);
+  }
+  std::fclose(f);
+  *ok = true;
+  return stream;
+}
+
+}  // namespace aac

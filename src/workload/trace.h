@@ -1,0 +1,35 @@
+#ifndef AAC_WORKLOAD_TRACE_H_
+#define AAC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "workload/query_stream.h"
+
+namespace aac {
+
+/// Text-format query traces: capture a generated (or observed) stream and
+/// replay it later, so experiments can run real analyst sessions instead of
+/// synthetic mixes.
+///
+/// One query per line, '#' comments allowed:
+///   <kind> <fn> (<l0>,<l1>,...) <lo>:<hi>{,<lo>:<hi>}
+/// e.g.
+///   drill-down SUM (4,1,2,0,0) 0:96,0:30,0:24,0:10,0:2
+class QueryTrace {
+ public:
+  /// Writes `stream` to `path`. Returns false on I/O failure.
+  static bool Write(const std::string& path,
+                    const std::vector<QueryStreamEntry>& stream);
+
+  /// Parses `path` against `schema`. Returns an empty vector and prints a
+  /// message on malformed input (a well-formed empty trace also returns an
+  /// empty vector; check `ok`).
+  static std::vector<QueryStreamEntry> Read(const std::string& path,
+                                            const Schema& schema, bool* ok);
+};
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_TRACE_H_

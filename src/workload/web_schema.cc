@@ -1,0 +1,34 @@
+#include "workload/web_schema.h"
+
+namespace aac {
+
+WebCube::WebCube() {
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Uniform(
+      "page", 4, {4, 4, 8}, {"section", "subsection", "group", "url"}));
+  dims.push_back(Dimension::Uniform("geo", 5, {8, 4},
+                                    {"continent", "country", "region"}));
+  dims.push_back(
+      Dimension::Uniform("time", 3, {30, 24}, {"month", "day", "hour"}));
+  dims.push_back(
+      Dimension::Uniform("device", 3, {4}, {"class", "model"}));
+  schema_ = std::make_unique<Schema>(std::move(dims));
+  lattice_ = std::make_unique<Lattice>(schema_.get());
+
+  const std::vector<std::vector<int32_t>> vpc = {
+      {2, 4, 8, 16},   // page: chunks 2, 4, 8, 32
+      {5, 10, 20},     // geo: chunks 1, 4, 8
+      {3, 15, 120},    // time: chunks 1, 6, 18
+      {3, 4},          // device: chunks 1, 3
+  };
+  std::vector<const DimensionChunkLayout*> ptrs;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    layouts_.push_back(std::make_unique<DimensionChunkLayout>(
+        DimensionChunkLayout::UniformValuesPerChunk(
+            &schema_->dimension(d), vpc[static_cast<size_t>(d)])));
+    ptrs.push_back(layouts_.back().get());
+  }
+  grid_ = std::make_unique<ChunkGrid>(lattice_.get(), std::move(ptrs));
+}
+
+}  // namespace aac

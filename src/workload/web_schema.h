@@ -1,0 +1,48 @@
+#ifndef AAC_WORKLOAD_WEB_SCHEMA_H_
+#define AAC_WORKLOAD_WEB_SCHEMA_H_
+
+#include <memory>
+#include <vector>
+
+#include "chunks/chunk_grid.h"
+#include "chunks/chunk_layout.h"
+#include "schema/lattice.h"
+#include "schema/schema.h"
+#include "workload/cube.h"
+
+namespace aac {
+
+/// A second, non-APB cube: web analytics (page views with dwell-time as
+/// the measure). The paper closes by asking whether active caching helps
+/// "workloads more general than those typically encountered in OLAP
+/// applications" — this schema, with its deeper time dimension and flatter
+/// page hierarchy, is the test bed for that question
+/// (bench/generality_web).
+///
+/// Dimensions (level 0 = most aggregated .. leaf):
+///   page    h=3: section(4) subsection(16) group(64) url(512)
+///   geo     h=2: continent(5) country(40) region(160)
+///   time    h=2: month(3) day(90) hour(2160)
+///   device  h=1: class(3) model(12)
+/// Lattice: (3+1)(2+1)(2+1)(1+1) = 72 group-bys; 13,824 base chunks.
+class WebCube : public Cube {
+ public:
+  WebCube();
+
+  WebCube(const WebCube&) = delete;
+  WebCube& operator=(const WebCube&) = delete;
+
+  const Schema& schema() const override { return *schema_; }
+  const Lattice& lattice() const override { return *lattice_; }
+  const ChunkGrid& grid() const override { return *grid_; }
+
+ private:
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<Lattice> lattice_;
+  std::vector<std::unique_ptr<DimensionChunkLayout>> layouts_;
+  std::unique_ptr<ChunkGrid> grid_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_WEB_SCHEMA_H_

@@ -1,0 +1,33 @@
+#include "workload/workload_runner.h"
+
+namespace aac {
+
+WorkloadTotals RunWorkload(QueryEngine& engine,
+                           const std::vector<QueryStreamEntry>& stream,
+                           std::vector<QueryStats>* per_query) {
+  WorkloadTotals totals;
+  for (const QueryStreamEntry& entry : stream) {
+    QueryStats stats;
+    engine.ExecuteQuery(entry.query, &stats);
+    ++totals.queries;
+    totals.complete_hits += stats.complete_hit ? 1 : 0;
+    totals.chunks_requested += stats.chunks_requested;
+    totals.chunks_direct += stats.chunks_direct;
+    totals.chunks_aggregated += stats.chunks_aggregated;
+    totals.chunks_backend += stats.chunks_backend;
+    totals.lookup_ms += stats.lookup_ms;
+    totals.aggregation_ms += stats.aggregation_ms;
+    totals.backend_ms += stats.backend_ms;
+    totals.update_ms += stats.update_ms;
+    if (stats.complete_hit) {
+      ++totals.hit_queries;
+      totals.hit_lookup_ms += stats.lookup_ms;
+      totals.hit_aggregation_ms += stats.aggregation_ms;
+      totals.hit_update_ms += stats.update_ms;
+    }
+    if (per_query != nullptr) per_query->push_back(stats);
+  }
+  return totals;
+}
+
+}  // namespace aac

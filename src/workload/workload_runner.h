@@ -1,0 +1,61 @@
+#ifndef AAC_WORKLOAD_WORKLOAD_RUNNER_H_
+#define AAC_WORKLOAD_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "workload/query_stream.h"
+
+namespace aac {
+
+/// Aggregate outcome of running a query stream through an engine — the
+/// numbers the paper's Figures 7–10 and Table 4 are built from.
+struct WorkloadTotals {
+  int64_t queries = 0;
+  int64_t complete_hits = 0;
+
+  int64_t chunks_requested = 0;
+  int64_t chunks_direct = 0;
+  int64_t chunks_aggregated = 0;
+  int64_t chunks_backend = 0;
+
+  double lookup_ms = 0.0;
+  double aggregation_ms = 0.0;
+  double backend_ms = 0.0;
+  double update_ms = 0.0;
+
+  // The same sums restricted to complete-hit queries (Figure 10's bars).
+  int64_t hit_queries = 0;
+  double hit_lookup_ms = 0.0;
+  double hit_aggregation_ms = 0.0;
+  double hit_update_ms = 0.0;
+
+  double TotalMs() const {
+    return lookup_ms + aggregation_ms + backend_ms + update_ms;
+  }
+  double AvgQueryMs() const {
+    return queries == 0 ? 0.0 : TotalMs() / static_cast<double>(queries);
+  }
+  double CompleteHitPercent() const {
+    return queries == 0 ? 0.0
+                        : 100.0 * static_cast<double>(complete_hits) /
+                              static_cast<double>(queries);
+  }
+  double AvgHitMs() const {
+    return hit_queries == 0 ? 0.0
+                            : (hit_lookup_ms + hit_aggregation_ms +
+                               hit_update_ms) /
+                                  static_cast<double>(hit_queries);
+  }
+};
+
+/// Runs `stream` through `engine`, accumulating totals; per-query stats are
+/// appended to `per_query` when non-null.
+WorkloadTotals RunWorkload(QueryEngine& engine,
+                           const std::vector<QueryStreamEntry>& stream,
+                           std::vector<QueryStats>* per_query = nullptr);
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_WORKLOAD_RUNNER_H_

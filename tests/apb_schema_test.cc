@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "workload/apb_schema.h"
+
+namespace aac {
+namespace {
+
+TEST(ApbSchema, LatticeShapeMatchesPaper) {
+  ApbCube cube;
+  // Hierarchy sizes 6, 2, 3, 1, 1 -> (6+1)(2+1)(3+1)(1+1)(1+1) = 336.
+  EXPECT_EQ(cube.lattice().num_groupbys(), 336);
+  EXPECT_EQ(cube.schema().num_dims(), 5);
+  EXPECT_EQ(cube.schema().dimension(0).hierarchy_size(), 6);
+  EXPECT_EQ(cube.schema().dimension(1).hierarchy_size(), 2);
+  EXPECT_EQ(cube.schema().dimension(2).hierarchy_size(), 3);
+  EXPECT_EQ(cube.schema().dimension(3).hierarchy_size(), 1);
+  EXPECT_EQ(cube.schema().dimension(4).hierarchy_size(), 1);
+}
+
+TEST(ApbSchema, DefaultCardinalities) {
+  ApbCube cube;
+  const Schema& s = cube.schema();
+  EXPECT_EQ(s.dimension(0).cardinality(6), 768);   // product codes
+  EXPECT_EQ(s.dimension(1).cardinality(2), 240);   // stores
+  EXPECT_EQ(s.dimension(2).cardinality(3), 96);    // weeks
+  EXPECT_EQ(s.dimension(3).cardinality(1), 10);    // channels (paper: 10)
+  EXPECT_EQ(s.dimension(4).cardinality(1), 2);     // scenarios
+}
+
+TEST(ApbSchema, ChunkCountsMirrorPaperScale) {
+  ApbCube cube;
+  // Base chunks: 32 * 4 * 8 * 2 * 1 = 2048; all levels: 40320 (paper's own
+  // configuration had 32256 — same order).
+  EXPECT_EQ(cube.grid().NumChunks(cube.lattice().base_id()), 2048);
+  EXPECT_EQ(cube.grid().TotalChunksAllGroupBys(), 40320);
+}
+
+TEST(ApbSchema, WorstCasePathCountMatchesLemma1) {
+  ApbCube cube;
+  // 13!/(6!2!3!1!1!) = 720720 paths from the fully aggregated node.
+  EXPECT_EQ(cube.lattice().NumPathsToBase(cube.lattice().top_id()), 720720u);
+}
+
+TEST(ApbSchema, ScaleGrowsLeavesOnly) {
+  ApbCube small{ApbConfig{1}};
+  ApbCube big{ApbConfig{2}};
+  EXPECT_EQ(big.lattice().num_groupbys(), small.lattice().num_groupbys());
+  EXPECT_EQ(big.schema().dimension(0).cardinality(6),
+            2 * small.schema().dimension(0).cardinality(6));
+  EXPECT_EQ(big.schema().dimension(0).cardinality(5),
+            small.schema().dimension(0).cardinality(5));
+  EXPECT_EQ(big.grid().NumChunks(big.lattice().base_id()),
+            8 * small.grid().NumChunks(small.lattice().base_id()));
+}
+
+TEST(ApbSchema, LevelNamesAreApbLike) {
+  ApbCube cube;
+  EXPECT_EQ(cube.schema().dimension(0).level_name(6), "code");
+  EXPECT_EQ(cube.schema().dimension(2).level_name(0), "year");
+  EXPECT_EQ(cube.schema().dimension(1).level_name(2), "store");
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "backend/backend.h"
+#include "test_util.h"
+
+namespace aac {
+namespace {
+
+class BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cube_ = MakeSmallCube();
+    base_cells_ = RandomBaseCells(cube_, 0.6, 13);
+    table_ = std::make_unique<FactTable>(cube_.grid.get(), base_cells_);
+    backend_ = std::make_unique<BackendServer>(table_.get(), BackendCostModel(),
+                                               &clock_);
+  }
+
+  TestCube cube_;
+  std::vector<Cell> base_cells_;
+  std::unique_ptr<FactTable> table_;
+  SimClock clock_;
+  std::unique_ptr<BackendServer> backend_;
+};
+
+TEST_F(BackendTest, ReturnsRequestedChunks) {
+  const GroupById gb = cube_.lattice->IdOf(LevelVector{1, 0});
+  std::vector<ChunkId> wanted{0, 1};
+  std::vector<ChunkData> got = backend_->ExecuteChunkQuery(gb, wanted);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].gb, gb);
+  EXPECT_EQ(got[0].chunk, 0);
+  EXPECT_EQ(got[1].chunk, 1);
+}
+
+TEST_F(BackendTest, ResultsMatchDirectAggregation) {
+  Aggregator oracle(cube_.grid.get());
+  const Lattice& lat = *cube_.lattice;
+  for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+    std::vector<ChunkId> all;
+    for (ChunkId c = 0; c < cube_.grid->NumChunks(gb); ++c) all.push_back(c);
+    std::vector<ChunkData> got = backend_->ExecuteChunkQuery(gb, all);
+    for (auto& chunk : got) {
+      std::vector<std::span<const Cell>> spans;
+      for (ChunkId bc :
+           cube_.grid->ParentChunkNumbers(gb, chunk.chunk, lat.base_id())) {
+        spans.push_back(table_->ChunkSlice(bc));
+      }
+      ChunkData want =
+          oracle.AggregateSpans(lat.base_id(), spans, gb, chunk.chunk);
+      EXPECT_TRUE(ChunkDataEquals(cube_.schema->num_dims(), &chunk, &want));
+    }
+  }
+}
+
+TEST_F(BackendTest, ChargesSimulatedLatency) {
+  const GroupById top = cube_.lattice->top_id();
+  EXPECT_EQ(clock_.TotalNanos(), 0);
+  backend_->ExecuteChunkQuery(top, {0});
+  const BackendCostModel& m = backend_->cost_model();
+  const int64_t expected = m.QueryCostNanos(backend_->stats().base_chunks_scanned,
+                                            backend_->stats().tuples_scanned);
+  EXPECT_EQ(clock_.TotalNanos(), expected);
+}
+
+TEST_F(BackendTest, StatsAccumulate) {
+  const GroupById top = cube_.lattice->top_id();
+  backend_->ExecuteChunkQuery(top, {0});
+  backend_->ExecuteChunkQuery(top, {0});
+  EXPECT_EQ(backend_->stats().queries, 2);
+  EXPECT_EQ(backend_->stats().chunks_returned, 2);
+  EXPECT_EQ(backend_->stats().tuples_scanned,
+            2 * static_cast<int64_t>(base_cells_.size()));
+  backend_->ResetStats();
+  EXPECT_EQ(backend_->stats().queries, 0);
+}
+
+TEST_F(BackendTest, EstimateMatchesActualCharge) {
+  const GroupById gb = cube_.lattice->IdOf(LevelVector{0, 1});
+  std::vector<ChunkId> chunks{0, 1};
+  const int64_t estimate = backend_->EstimateQueryCostNanos(gb, chunks);
+  clock_.Reset();
+  backend_->ExecuteChunkQuery(gb, chunks);
+  EXPECT_EQ(clock_.TotalNanos(), estimate);
+}
+
+TEST_F(BackendTest, NullClockIsAllowed) {
+  BackendServer backend(table_.get(), BackendCostModel(), nullptr);
+  std::vector<ChunkData> got =
+      backend.ExecuteChunkQuery(cube_.lattice->top_id(), {0});
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST_F(BackendTest, EmptyChunkStillReturned) {
+  // Query a base chunk with no tuples (density < 1 makes some likely); the
+  // result must exist with zero cells rather than being dropped.
+  TestCube cube = MakeSmallCube();
+  FactTable empty_table(cube.grid.get(), {});
+  BackendServer backend(&empty_table, BackendCostModel(), nullptr);
+  std::vector<ChunkData> got =
+      backend.ExecuteChunkQuery(cube.lattice->base_id(), {0, 1});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].tuple_count(), 0);
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "cache/benefit.h"
+#include "chunks/chunk_size_model.h"
+#include "test_util.h"
+
+namespace aac {
+namespace {
+
+TEST(BenefitModel, BackendRecomputeTuplesForBaseChunkEqualsChunkCells) {
+  TestCube cube = MakeSmallCube();
+  const int64_t base_cells = cube.schema->NumCells(cube.schema->base_level());
+  ChunkSizeModel size_model(cube.grid.get(), base_cells);  // density 1
+  BenefitModel benefit(&size_model);
+  const GroupById base = cube.lattice->base_id();
+  for (ChunkId c = 0; c < cube.grid->NumChunks(base); ++c) {
+    EXPECT_NEAR(benefit.BackendRecomputeTuples(base, c),
+                static_cast<double>(cube.grid->CellsInChunk(base, c)), 1e-9);
+  }
+}
+
+TEST(BenefitModel, AggregatedChunksHaveHigherBenefit) {
+  TestCube cube = MakeSmallCube();
+  ChunkSizeModel size_model(
+      cube.grid.get(), cube.schema->NumCells(cube.schema->base_level()) / 2);
+  BenefitModel benefit(&size_model);
+  const Lattice& lat = *cube.lattice;
+  // The single top chunk covers the whole base table; any base chunk covers
+  // a fraction.
+  const double top = benefit.BackendRecomputeTuples(lat.top_id(), 0);
+  const double base = benefit.BackendRecomputeTuples(lat.base_id(), 0);
+  EXPECT_GT(top, base);
+  EXPECT_NEAR(top, static_cast<double>(size_model.num_base_tuples()), 1e-6);
+}
+
+TEST(BenefitModel, ChunkBenefitsPartitionGroupByBenefit) {
+  TestCube cube = MakeThreeDimCube();
+  ChunkSizeModel size_model(
+      cube.grid.get(), cube.schema->NumCells(cube.schema->base_level()) / 3);
+  BenefitModel benefit(&size_model);
+  const Lattice& lat = *cube.lattice;
+  // Base tuples covered by all chunks of any group-by == whole table.
+  for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+    double total = 0;
+    for (ChunkId c = 0; c < cube.grid->NumChunks(gb); ++c) {
+      total += benefit.BackendRecomputeTuples(gb, c);
+    }
+    EXPECT_NEAR(total, static_cast<double>(size_model.num_base_tuples()), 1e-6)
+        << lat.LevelOf(gb).ToString();
+  }
+}
+
+TEST(BenefitModel, OverheadAddsToBackendBenefit) {
+  TestCube cube = MakeSmallCube();
+  ChunkSizeModel size_model(cube.grid.get(), 10);
+  BenefitModel plain(&size_model, 0.0);
+  BenefitModel loaded(&size_model, 500.0);
+  const GroupById base = cube.lattice->base_id();
+  EXPECT_NEAR(loaded.BackendChunkBenefit(base, 0),
+              plain.BackendChunkBenefit(base, 0) + 500.0, 1e-9);
+}
+
+TEST(BenefitModel, CacheComputedBenefitIsAggregationCost) {
+  TestCube cube = MakeSmallCube();
+  ChunkSizeModel size_model(cube.grid.get(), 10);
+  BenefitModel benefit(&size_model);
+  EXPECT_DOUBLE_EQ(benefit.CacheComputedChunkBenefit(123.0), 123.0);
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "storage/chunk_data.h"
+
+namespace aac {
+namespace {
+
+Cell MakeCell(int32_t a, int32_t b, double m) {
+  Cell c;
+  c.values[0] = a;
+  c.values[1] = b;
+  c.measure = m;
+  return c;
+}
+
+TEST(ChunkData, TupleCountAndBytes) {
+  ChunkData d;
+  d.cells.push_back(MakeCell(0, 0, 1.0));
+  d.cells.push_back(MakeCell(1, 0, 2.0));
+  EXPECT_EQ(d.tuple_count(), 2);
+  EXPECT_EQ(d.LogicalBytes(20), 40);
+}
+
+TEST(ChunkData, CanonicalizeSortsByValues) {
+  ChunkData d;
+  d.cells.push_back(MakeCell(1, 0, 1.0));
+  d.cells.push_back(MakeCell(0, 1, 2.0));
+  d.cells.push_back(MakeCell(0, 0, 3.0));
+  CanonicalizeChunkData(2, &d);
+  EXPECT_EQ(d.cells[0].values[0], 0);
+  EXPECT_EQ(d.cells[0].values[1], 0);
+  EXPECT_EQ(d.cells[1].values[1], 1);
+  EXPECT_EQ(d.cells[2].values[0], 1);
+}
+
+TEST(ChunkData, EqualsIgnoresOrder) {
+  ChunkData a, b;
+  a.cells.push_back(MakeCell(0, 0, 1.0));
+  a.cells.push_back(MakeCell(1, 1, 2.0));
+  b.cells.push_back(MakeCell(1, 1, 2.0));
+  b.cells.push_back(MakeCell(0, 0, 1.0));
+  EXPECT_TRUE(ChunkDataEquals(2, &a, &b));
+}
+
+TEST(ChunkData, EqualsDetectsMeasureDifference) {
+  ChunkData a, b;
+  a.cells.push_back(MakeCell(0, 0, 1.0));
+  b.cells.push_back(MakeCell(0, 0, 1.5));
+  EXPECT_FALSE(ChunkDataEquals(2, &a, &b));
+  EXPECT_TRUE(ChunkDataEquals(2, &a, &b, /*epsilon=*/1.0));
+}
+
+TEST(ChunkData, EqualsDetectsSizeMismatch) {
+  ChunkData a, b;
+  a.cells.push_back(MakeCell(0, 0, 1.0));
+  EXPECT_FALSE(ChunkDataEquals(2, &a, &b));
+}
+
+TEST(ChunkData, EqualsDetectsCoordinateMismatch) {
+  ChunkData a, b;
+  a.cells.push_back(MakeCell(0, 1, 1.0));
+  b.cells.push_back(MakeCell(1, 0, 1.0));
+  EXPECT_FALSE(ChunkDataEquals(2, &a, &b));
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "chunks/chunk_size_model.h"
+#include "test_util.h"
+
+namespace aac {
+namespace {
+
+TEST(ChunkSizeModel, FullDensityOccupancyIsOne) {
+  TestCube cube = MakeSmallCube();
+  const int64_t base_cells =
+      cube.schema->NumCells(cube.schema->base_level());
+  ChunkSizeModel model(cube.grid.get(), base_cells);
+  for (GroupById gb = 0; gb < cube.lattice->num_groupbys(); ++gb) {
+    EXPECT_NEAR(model.Occupancy(gb), 1.0, 1e-9);
+  }
+}
+
+TEST(ChunkSizeModel, EmptyTableOccupancyIsZero) {
+  TestCube cube = MakeSmallCube();
+  ChunkSizeModel model(cube.grid.get(), 0);
+  EXPECT_NEAR(model.Occupancy(cube.lattice->base_id()), 0.0, 1e-12);
+  EXPECT_NEAR(model.Occupancy(cube.lattice->top_id()), 0.0, 1e-12);
+}
+
+TEST(ChunkSizeModel, OccupancyIncreasesTowardAggregatedLevels) {
+  TestCube cube = MakeSmallCube();
+  const int64_t base_cells =
+      cube.schema->NumCells(cube.schema->base_level());
+  ChunkSizeModel model(cube.grid.get(), base_cells / 3);
+  const Lattice& lat = *cube.lattice;
+  for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+    for (GroupById child : lat.Children(gb)) {
+      EXPECT_GE(model.Occupancy(child) + 1e-12, model.Occupancy(gb));
+    }
+  }
+}
+
+TEST(ChunkSizeModel, BaseGroupByTuplesMatchTableSize) {
+  TestCube cube = MakeSmallCube();
+  const int64_t n = 37;
+  ChunkSizeModel model(cube.grid.get(), n);
+  // At the base level, expected tuples == actual tuple count (cells are
+  // occupied independently with p = N/C, expectation C*p = N).
+  EXPECT_NEAR(model.ExpectedGroupByTuples(cube.lattice->base_id()),
+              static_cast<double>(n), 1e-6);
+}
+
+TEST(ChunkSizeModel, ChunkTuplesSumToGroupByTuples) {
+  TestCube cube = MakeThreeDimCube();
+  ChunkSizeModel model(cube.grid.get(), 40);
+  for (GroupById gb = 0; gb < cube.lattice->num_groupbys(); ++gb) {
+    double sum = 0;
+    for (ChunkId c = 0; c < cube.grid->NumChunks(gb); ++c) {
+      sum += model.ExpectedChunkTuples(gb, c);
+    }
+    EXPECT_NEAR(sum, model.ExpectedGroupByTuples(gb), 1e-6);
+  }
+}
+
+TEST(ChunkSizeModel, BytesUseConfiguredTupleWidth) {
+  TestCube cube = MakeSmallCube();
+  const int64_t base_cells =
+      cube.schema->NumCells(cube.schema->base_level());
+  ChunkSizeModel model(cube.grid.get(), base_cells, /*bytes_per_tuple=*/20);
+  EXPECT_EQ(model.ExpectedGroupByBytes(cube.lattice->base_id()),
+            base_cells * 20);
+}
+
+TEST(ChunkSizeModel, OversizedTupleCountClampsDensity) {
+  TestCube cube = MakeSmallCube();
+  const int64_t base_cells =
+      cube.schema->NumCells(cube.schema->base_level());
+  ChunkSizeModel model(cube.grid.get(), base_cells * 10);
+  EXPECT_NEAR(model.Occupancy(cube.lattice->base_id()), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aac

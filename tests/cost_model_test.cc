@@ -1,0 +1,28 @@
+#include <gtest/gtest.h>
+
+#include "backend/cost_model.h"
+
+namespace aac {
+namespace {
+
+TEST(BackendCostModel, DefaultQueryCost) {
+  BackendCostModel m;
+  EXPECT_EQ(m.QueryCostNanos(0, 0), m.fixed_query_overhead_ns);
+}
+
+TEST(BackendCostModel, LinearInChunksAndTuples) {
+  BackendCostModel m;
+  m.fixed_query_overhead_ns = 100;
+  m.per_chunk_seek_ns = 10;
+  m.per_tuple_scan_ns = 1;
+  EXPECT_EQ(m.QueryCostNanos(3, 50), 100 + 30 + 50);
+}
+
+TEST(BackendCostModel, FixedOverheadDominatesSmallQueries) {
+  BackendCostModel m;  // defaults
+  const int64_t small = m.QueryCostNanos(1, 100);
+  EXPECT_GT(m.fixed_query_overhead_ns * 2, small);
+}
+
+}  // namespace
+}  // namespace aac

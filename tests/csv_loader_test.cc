@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/fact_table.h"
+#include "test_util.h"
+#include "workload/csv_loader.h"
+
+namespace aac {
+namespace {
+
+std::string WriteTemp(const char* name, const char* content) {
+  std::string path = std::string(::testing::TempDir()) + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(content, f);
+  std::fclose(f);
+  return path;
+}
+
+class CsvLoaderTest : public ::testing::Test {
+ protected:
+  CsvLoaderTest() : cube_(MakeSmallCube()) {}
+  TestCube cube_;  // dims: product (12 leaf values), time (8 leaf values)
+};
+
+TEST_F(CsvLoaderTest, LoadsIdsInHeaderOrder) {
+  const std::string path = WriteTemp("basic.csv",
+                                     "product,time,measure\n"
+                                     "0,0,10.5\n"
+                                     "11,7,2\n");
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.rows, 2);
+  EXPECT_EQ(result.cells[0].values[0], 0);
+  EXPECT_EQ(result.cells[0].values[1], 0);
+  EXPECT_DOUBLE_EQ(result.cells[0].measure, 10.5);
+  EXPECT_EQ(result.cells[0].count, 1);
+  EXPECT_EQ(result.cells[1].values[0], 11);
+  EXPECT_EQ(result.cells[1].values[1], 7);
+}
+
+TEST_F(CsvLoaderTest, ColumnsMayBeReordered) {
+  const std::string path = WriteTemp("reorder.csv",
+                                     "measure,time,product\n"
+                                     "5,3,7\n");
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.cells[0].values[0], 7);
+  EXPECT_EQ(result.cells[0].values[1], 3);
+  EXPECT_DOUBLE_EQ(result.cells[0].measure, 5.0);
+}
+
+TEST_F(CsvLoaderTest, CommentsAndBlanksSkipped) {
+  const std::string path = WriteTemp("comments.csv",
+                                     "# fact extract\n"
+                                     "product,time,measure\n"
+                                     "\n"
+                                     "1,1,1 # trailing comment\n");
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rows, 1);
+}
+
+TEST_F(CsvLoaderTest, NamesResolveThroughCatalog) {
+  MemberCatalog catalog(cube_.schema.get());
+  catalog.SetName(0, 2, 4, "widget");
+  catalog.SetName(1, 1, 6, "w6");
+  const std::string path = WriteTemp("names.csv",
+                                     "product,time,measure\n"
+                                     "widget,w6,3.5\n"
+                                     "widget,2,1.5\n");
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, &catalog, path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.cells[0].values[0], 4);
+  EXPECT_EQ(result.cells[0].values[1], 6);
+  EXPECT_EQ(result.cells[1].values[1], 2);
+}
+
+TEST_F(CsvLoaderTest, LoadsIntoFactTableWithMerging) {
+  const std::string path = WriteTemp("dupes.csv",
+                                     "product,time,measure\n"
+                                     "3,2,10\n"
+                                     "3,2,5\n");
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path);
+  ASSERT_TRUE(result.ok);
+  FactTable table(cube_.grid.get(), std::move(result.cells));
+  EXPECT_EQ(table.num_tuples(), 1);
+  EXPECT_DOUBLE_EQ(table.tuples()[0].measure, 15.0);
+  EXPECT_EQ(table.tuples()[0].count, 2);
+}
+
+TEST_F(CsvLoaderTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* content;
+    const char* needle;
+  };
+  for (const Case& c : {
+           Case{"product,when,measure\n", "unknown column"},
+           Case{"product,product,time,measure\n", "duplicate column"},
+           Case{"product,time\n", "header must name"},
+           Case{"product,time,measure\n1,2\n", "expected 3 fields"},
+           Case{"product,time,measure\n1,2,abc\n", "bad measure"},
+           Case{"product,time,measure\n99,2,1\n", "out of range"},
+           Case{"product,time,measure\nnope,2,1\n", "unknown member"},
+       }) {
+    const std::string path = WriteTemp("bad.csv", c.content);
+    CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path);
+    EXPECT_FALSE(result.ok) << c.content;
+    EXPECT_NE(result.error.find(c.needle), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("line "), std::string::npos);
+  }
+}
+
+TEST_F(CsvLoaderTest, MissingFileFails) {
+  CsvLoadResult result =
+      LoadFactCsv(*cube_.schema, nullptr, "/nonexistent/x.csv");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(CsvLoaderTest, EmptyFileFails) {
+  const std::string path = WriteTemp("empty.csv", "");
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("empty"), std::string::npos);
+}
+
+TEST_F(CsvLoaderTest, WriteReadRoundTrip) {
+  std::vector<Cell> cells = RandomBaseCells(cube_, 0.4, 5);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/roundtrip_out.csv";
+  ASSERT_TRUE(WriteFactCsv(*cube_.schema, cells, path));
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.cells.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(result.cells[i].values, cells[i].values);
+    EXPECT_DOUBLE_EQ(result.cells[i].measure, cells[i].measure);
+  }
+}
+
+TEST_F(CsvLoaderTest, CustomDelimiter) {
+  const std::string path = WriteTemp("tabs.csv",
+                                     "product\ttime\tmeasure\n"
+                                     "2\t5\t7\n");
+  CsvLoadResult result = LoadFactCsv(*cube_.schema, nullptr, path, '\t');
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.cells[0].values[1], 5);
+}
+
+}  // namespace
+}  // namespace aac

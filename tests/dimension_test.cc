@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "schema/dimension.h"
+
+namespace aac {
+namespace {
+
+TEST(Dimension, UniformCardinalities) {
+  // 2 roots, fanouts 3 then 2: levels have 2, 6, 12 values.
+  Dimension d = Dimension::Uniform("prod", 2, {3, 2});
+  EXPECT_EQ(d.num_levels(), 3);
+  EXPECT_EQ(d.hierarchy_size(), 2);
+  EXPECT_EQ(d.cardinality(0), 2);
+  EXPECT_EQ(d.cardinality(1), 6);
+  EXPECT_EQ(d.cardinality(2), 12);
+}
+
+TEST(Dimension, UniformParentValues) {
+  Dimension d = Dimension::Uniform("t", 1, {4});
+  for (int32_t v = 0; v < 4; ++v) EXPECT_EQ(d.ParentValue(1, v), 0);
+  Dimension e = Dimension::Uniform("t2", 2, {3});
+  EXPECT_EQ(e.ParentValue(1, 0), 0);
+  EXPECT_EQ(e.ParentValue(1, 2), 0);
+  EXPECT_EQ(e.ParentValue(1, 3), 1);
+  EXPECT_EQ(e.ParentValue(1, 5), 1);
+}
+
+TEST(Dimension, AncestorValueComposesParentHops) {
+  Dimension d = Dimension::Uniform("x", 1, {2, 2, 2});
+  // Value 5 at level 3 -> 2 at level 2 -> 1 at level 1 -> 0 at level 0.
+  EXPECT_EQ(d.AncestorValue(3, 5, 2), 2);
+  EXPECT_EQ(d.AncestorValue(3, 5, 1), 1);
+  EXPECT_EQ(d.AncestorValue(3, 5, 0), 0);
+  EXPECT_EQ(d.AncestorValue(3, 5, 3), 5);  // target == level is identity
+}
+
+TEST(Dimension, ChildRangePartitionsNextLevel) {
+  Dimension d = Dimension::Uniform("y", 3, {4});
+  int32_t expected_begin = 0;
+  for (int32_t v = 0; v < 3; ++v) {
+    auto [b, e] = d.ChildRange(0, v);
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_EQ(e - b, 4);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, d.cardinality(1));
+}
+
+TEST(Dimension, NonUniformExplicitHierarchy) {
+  // Level 0: 2 values. Level 1: 5 values with parents [0,0,0,1,1].
+  Dimension d("c", {"region", "store"}, 2, {{0, 0, 0, 1, 1}});
+  EXPECT_EQ(d.cardinality(1), 5);
+  EXPECT_EQ(d.ParentValue(1, 2), 0);
+  EXPECT_EQ(d.ParentValue(1, 3), 1);
+  auto [b0, e0] = d.ChildRange(0, 0);
+  EXPECT_EQ(b0, 0);
+  EXPECT_EQ(e0, 3);
+  auto [b1, e1] = d.ChildRange(0, 1);
+  EXPECT_EQ(b1, 3);
+  EXPECT_EQ(e1, 5);
+}
+
+TEST(Dimension, ChildRangeInverseOfParent) {
+  Dimension d("z", {"a", "b", "c"}, 2, {{0, 0, 1}, {0, 1, 1, 2, 2, 2}});
+  for (int level = 0; level < d.hierarchy_size(); ++level) {
+    for (int32_t v = 0; v < d.cardinality(level); ++v) {
+      auto [b, e] = d.ChildRange(level, v);
+      EXPECT_LT(b, e);  // surjective: at least one child
+      for (int32_t c = b; c < e; ++c) {
+        EXPECT_EQ(d.ParentValue(level + 1, c), v);
+      }
+    }
+  }
+}
+
+TEST(Dimension, SingleLevelDimension) {
+  Dimension d("flat", {"only"}, 7, {});
+  EXPECT_EQ(d.hierarchy_size(), 0);
+  EXPECT_EQ(d.cardinality(0), 7);
+}
+
+TEST(Dimension, LevelNames) {
+  Dimension d("t", {"year", "month"}, 1, {{0, 0, 0}});
+  EXPECT_EQ(d.level_name(0), "year");
+  EXPECT_EQ(d.level_name(1), "month");
+}
+
+TEST(DimensionDeathTest, NonMonotoneParentMapAborts) {
+  EXPECT_DEATH(Dimension("bad", {"a", "b"}, 2, {{1, 0}}), "AAC_CHECK");
+}
+
+TEST(DimensionDeathTest, NonSurjectiveParentMapAborts) {
+  EXPECT_DEATH(Dimension("bad", {"a", "b"}, 3, {{0, 0, 1, 1}}), "AAC_CHECK");
+}
+
+TEST(DimensionDeathTest, OutOfRangeParentAborts) {
+  EXPECT_DEATH(Dimension("bad", {"a", "b"}, 1, {{0, 2}}), "AAC_CHECK");
+}
+
+TEST(DimensionDeathTest, WrongParentMapCountAborts) {
+  EXPECT_DEATH(Dimension("bad", {"a", "b", "c"}, 1, {{0}}), "AAC_CHECK");
+}
+
+}  // namespace
+}  // namespace aac

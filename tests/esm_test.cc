@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/esm.h"
+#include "core/esmc.h"
+#include "core/no_aggregation.h"
+#include "test_env.h"
+
+namespace aac {
+namespace {
+
+constexpr int64_t kBigCache = 1'000'000;
+
+TEST(Esm, EmptyCacheNothingComputable) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 1, kBigCache);
+  EsmStrategy esm(env.cube.grid.get(), env.cache.get());
+  for (GroupById gb = 0; gb < env.lattice().num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env.grid().NumChunks(gb); ++c) {
+      EXPECT_FALSE(esm.IsComputable(gb, c));
+      EXPECT_EQ(esm.FindPlan(gb, c), nullptr);
+    }
+  }
+}
+
+TEST(Esm, CachedChunkIsComputableDirectly) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 2, kBigCache);
+  const GroupById gb = env.lattice().IdOf(LevelVector{1, 0});
+  CacheChunkFromBackend(env, gb, 0);
+  EsmStrategy esm(env.cube.grid.get(), env.cache.get());
+  EXPECT_TRUE(esm.IsComputable(gb, 0));
+  auto plan = esm.FindPlan(gb, 0);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->cached);
+  EXPECT_FALSE(esm.IsComputable(gb, 1));
+}
+
+TEST(Esm, FullBaseMakesEverythingComputable) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 3, kBigCache);
+  const GroupById base = env.lattice().base_id();
+  for (ChunkId c = 0; c < env.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env, base, c);
+  }
+  EsmStrategy esm(env.cube.grid.get(), env.cache.get());
+  for (GroupById gb = 0; gb < env.lattice().num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env.grid().NumChunks(gb); ++c) {
+      EXPECT_TRUE(esm.IsComputable(gb, c))
+          << env.lattice().LevelOf(gb).ToString() << "#" << c;
+    }
+  }
+}
+
+TEST(Esm, PartialCoverageComputableOnlyWhereCovered) {
+  // Cache only base chunks covering product chunk 0 (time: all). The
+  // aggregate over product chunk 0 is computable; over chunk 1 it is not.
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 4, kBigCache);
+  const GroupById base = env.lattice().base_id();
+  const ChunkGrid& grid = env.grid();
+  for (ChunkId c = 0; c < grid.NumChunks(base); ++c) {
+    if (grid.CoordsOf(base, c)[0] == 0) CacheChunkFromBackend(env, base, c);
+  }
+  EsmStrategy esm(env.cube.grid.get(), env.cache.get());
+  const GroupById gb = env.lattice().IdOf(LevelVector{1, 1});
+  // Group-by (1,1): product has 2 chunks, time 2 chunks. Product chunk 0 at
+  // level 1 maps to product chunks 0..1 at level 2? No: level 1 has 2
+  // chunks over 4 values; level 2 has 4 chunks over 12 values; chunk 0 of
+  // level 1 covers chunks 0,1 of level 2... but we cached base chunks with
+  // product-chunk coordinate 0 only. So (1,1)#0 needs base product chunks
+  // 0 and 1 — only 0 is cached.
+  EXPECT_FALSE(esm.IsComputable(gb, 0));
+  // The base level itself: cached chunks are computable, others not.
+  for (ChunkId c = 0; c < grid.NumChunks(base); ++c) {
+    EXPECT_EQ(esm.IsComputable(base, c), grid.CoordsOf(base, c)[0] == 0);
+  }
+}
+
+TEST(Esm, MixedLevelComputability) {
+  // Paper Section 3: chunk 0 of (0,2,0) needs chunks 0 and 1 of (1,2,0);
+  // chunk 0 cached directly, chunk 1 computable from elsewhere -> still
+  // computable. Reproduce the shape on the small cube.
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 5, kBigCache);
+  const Lattice& lat = env.lattice();
+  const ChunkGrid& grid = env.grid();
+  const GroupById mid = lat.IdOf(LevelVector{1, 1});   // 2x2 chunks
+  const GroupById agg = lat.IdOf(LevelVector{0, 1});   // 1x2 chunks
+  const GroupById base = lat.base_id();
+  // agg#0 needs mid#0 and mid#2 (product chunks 0,1 at time chunk 0).
+  std::vector<ChunkId> needed = grid.ParentChunkNumbers(agg, 0, mid);
+  ASSERT_EQ(needed.size(), 2u);
+  // Cache mid chunk `needed[0]` directly; make `needed[1]` computable from
+  // base chunks.
+  CacheChunkFromBackend(env, mid, needed[0]);
+  for (ChunkId bc : grid.ParentChunkNumbers(mid, needed[1], base)) {
+    CacheChunkFromBackend(env, base, bc);
+  }
+  EsmStrategy esm(env.cube.grid.get(), env.cache.get());
+  EXPECT_TRUE(esm.IsComputable(agg, 0));
+  auto plan = esm.FindPlan(agg, 0);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_FALSE(plan->cached);
+  EXPECT_EQ(plan->key.gb, agg);
+}
+
+TEST(Esm, VisitCountsGrowWithAggregationLevel) {
+  // Lemma 1: more aggregated chunks have more paths; on an empty cache ESM
+  // must visit more nodes for them.
+  TestEnv env = MakeTestEnv(MakeThreeDimCube(), 0.5, 6, kBigCache);
+  EsmStrategy esm(env.cube.grid.get(), env.cache.get());
+  esm.ResetMetrics();
+  esm.IsComputable(env.lattice().base_id(), 0);
+  const int64_t base_visits = esm.metrics().nodes_visited;
+  esm.ResetMetrics();
+  esm.IsComputable(env.lattice().top_id(), 0);
+  const int64_t top_visits = esm.metrics().nodes_visited;
+  EXPECT_GT(top_visits, base_visits);
+  EXPECT_EQ(base_visits, 1);  // no parents to explore
+}
+
+TEST(Esmc, FindsCheaperPlanThanFirstPath) {
+  // Cache the base and an intermediate level; ESMC must aggregate from the
+  // (cheaper) intermediate level while plain ESM may pick the base.
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 1.0, 7, kBigCache);
+  const Lattice& lat = env.lattice();
+  const GroupById base = lat.base_id();
+  const GroupById mid = lat.IdOf(LevelVector{1, 1});
+  for (ChunkId c = 0; c < env.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env, base, c);
+  }
+  for (ChunkId c = 0; c < env.grid().NumChunks(mid); ++c) {
+    CacheChunkFromBackend(env, mid, c);
+  }
+  EsmcStrategy esmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  EsmStrategy esm(env.cube.grid.get(), env.cache.get());
+  const GroupById top = lat.top_id();
+  auto cheap = esmc.FindPlan(top, 0);
+  auto first = esm.FindPlan(top, 0);
+  ASSERT_NE(cheap, nullptr);
+  ASSERT_NE(first, nullptr);
+  // ESMC's estimate must be no worse than the plan ESM found; with the mid
+  // level cached it is strictly better than aggregating the whole base.
+  EXPECT_LE(cheap->estimated_cost,
+            static_cast<double>(env.table->num_tuples()));
+  // The cheapest plan reads fewer tuples than the base table holds.
+  EXPECT_LT(cheap->estimated_cost,
+            static_cast<double>(env.table->num_tuples()));
+}
+
+TEST(Esmc, BudgetExhaustionFallsBackToFirstPath) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 1.0, 8, kBigCache);
+  const GroupById base = env.lattice().base_id();
+  for (ChunkId c = 0; c < env.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env, base, c);
+  }
+  EsmcStrategy esmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get(), /*visit_budget=*/2);
+  auto plan = esmc.FindPlan(env.lattice().top_id(), 0);
+  ASSERT_NE(plan, nullptr);  // fallback still answers
+  EXPECT_GE(esmc.metrics().budget_exhausted, 1);
+}
+
+TEST(Esmc, NotComputableReturnsNull) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 9, kBigCache);
+  EsmcStrategy esmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  EXPECT_EQ(esmc.FindPlan(env.lattice().top_id(), 0), nullptr);
+  EXPECT_FALSE(esmc.IsComputable(env.lattice().top_id(), 0));
+}
+
+TEST(NoAggregation, OnlyExactChunksHit) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 10, kBigCache);
+  const GroupById base = env.lattice().base_id();
+  for (ChunkId c = 0; c < env.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env, base, c);
+  }
+  NoAggregationStrategy no_agg(env.cache.get());
+  EXPECT_TRUE(no_agg.IsComputable(base, 0));
+  EXPECT_FALSE(no_agg.IsComputable(env.lattice().top_id(), 0));
+  auto plan = no_agg.FindPlan(base, 0);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->cached);
+  EXPECT_EQ(no_agg.FindPlan(env.lattice().top_id(), 0), nullptr);
+}
+
+}  // namespace
+}  // namespace aac

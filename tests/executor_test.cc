@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/executor.h"
+#include "core/vcm.h"
+#include "core/vcmc.h"
+#include "storage/aggregator.h"
+#include "test_env.h"
+
+namespace aac {
+namespace {
+
+constexpr int64_t kBigCache = 1'000'000;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = MakeTestEnv(MakeSmallCube(), 0.7, 31, kBigCache);
+    aggregator_ = std::make_unique<Aggregator>(env_.cube.grid.get());
+    executor_ = std::make_unique<PlanExecutor>(
+        env_.cube.grid.get(), env_.cache.get(), aggregator_.get());
+  }
+
+  ChunkData Oracle(GroupById gb, ChunkId chunk) {
+    return env_.backend->ExecuteChunkQuery(gb, {chunk})[0];
+  }
+
+  TestEnv env_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<PlanExecutor> executor_;
+};
+
+TEST_F(ExecutorTest, CachedLeafPlanReturnsCopy) {
+  const GroupById gb = env_.lattice().IdOf(LevelVector{1, 1});
+  CacheChunkFromBackend(env_, gb, 0);
+  PlanNode leaf;
+  leaf.key = {gb, 0};
+  leaf.cached = true;
+  ExecutionResult result = executor_->Execute(leaf);
+  ChunkData want = Oracle(gb, 0);
+  EXPECT_TRUE(ChunkDataEquals(2, &result.data, &want));
+  EXPECT_EQ(result.tuples_aggregated, 0);
+  ASSERT_EQ(result.cached_inputs.size(), 1u);
+  EXPECT_EQ(result.cached_inputs[0].gb, gb);
+}
+
+TEST_F(ExecutorTest, ExecutesVcmPlansCorrectlyAtEveryLevel) {
+  const GroupById base = env_.lattice().base_id();
+  for (ChunkId c = 0; c < env_.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env_, base, c);
+  }
+  VcmStrategy vcm(env_.cube.grid.get(), env_.cache.get());
+  for (GroupById gb = 0; gb < env_.lattice().num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env_.grid().NumChunks(gb); ++c) {
+      auto plan = vcm.FindPlan(gb, c);
+      ASSERT_NE(plan, nullptr);
+      ExecutionResult result = executor_->Execute(*plan);
+      ChunkData want = Oracle(gb, c);
+      EXPECT_TRUE(ChunkDataEquals(2, &result.data, &want))
+          << env_.lattice().LevelOf(gb).ToString() << "#" << c;
+    }
+  }
+}
+
+TEST_F(ExecutorTest, MultiStepPlanCountsAggregatedTuples) {
+  const GroupById base = env_.lattice().base_id();
+  for (ChunkId c = 0; c < env_.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env_, base, c);
+  }
+  VcmStrategy vcm(env_.cube.grid.get(), env_.cache.get());
+  auto plan = vcm.FindPlan(env_.lattice().top_id(), 0);
+  ASSERT_NE(plan, nullptr);
+  ExecutionResult result = executor_->Execute(*plan);
+  // At least every base tuple is read once.
+  EXPECT_GE(result.tuples_aggregated, env_.table->num_tuples());
+}
+
+TEST_F(ExecutorTest, CachedInputsListsDistinctLeaves) {
+  const GroupById base = env_.lattice().base_id();
+  for (ChunkId c = 0; c < env_.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env_, base, c);
+  }
+  VcmStrategy vcm(env_.cube.grid.get(), env_.cache.get());
+  auto plan = vcm.FindPlan(env_.lattice().top_id(), 0);
+  ExecutionResult result = executor_->Execute(*plan);
+  EXPECT_EQ(static_cast<int64_t>(result.cached_inputs.size()),
+            plan->LeafCount());
+  // All leaves in this setup are base chunks.
+  for (const CacheKey& key : result.cached_inputs) {
+    EXPECT_EQ(key.gb, base);
+  }
+}
+
+TEST_F(ExecutorTest, NoPinsLeakAfterExecution) {
+  const GroupById base = env_.lattice().base_id();
+  for (ChunkId c = 0; c < env_.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env_, base, c);
+  }
+  VcmStrategy vcm(env_.cube.grid.get(), env_.cache.get());
+  auto plan = vcm.FindPlan(env_.lattice().top_id(), 0);
+  executor_->Execute(*plan);
+  // If pins leaked, removing the entries would abort.
+  for (ChunkId c = 0; c < env_.grid().NumChunks(base); ++c) {
+    EXPECT_TRUE(env_.cache->Remove({base, c}));
+  }
+}
+
+}  // namespace
+}  // namespace aac

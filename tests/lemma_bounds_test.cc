@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/vcm.h"
+#include "test_env.h"
+
+namespace aac {
+namespace {
+
+constexpr int64_t kBigCache = 1'000'000;
+
+// Lemma 2 of the paper: inserting a chunk at level (l1,...,ln) updates at
+// most n * prod(l_i + 1) counts. We verify the bound empirically over
+// randomized insert (and delete) sequences.
+int64_t Lemma2Bound(const Schema& schema, const LevelVector& level) {
+  int64_t bound = schema.num_dims();
+  for (int d = 0; d < schema.num_dims(); ++d) bound *= level[d] + 1;
+  return bound;
+}
+
+class Lemma2Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma2Test, InsertUpdatesWithinBound) {
+  TestEnv env = MakeTestEnv(MakeThreeDimCube(), 0.6, GetParam(), kBigCache);
+  VcmStrategy vcm(env.cube.grid.get(), env.cache.get());
+  env.cache->AddListener(vcm.listener());
+  Rng rng(GetParam() * 31 + 7);
+  const Lattice& lat = env.lattice();
+  for (int i = 0; i < 80; ++i) {
+    const GroupById gb =
+        static_cast<GroupById>(rng.Uniform(lat.num_groupbys()));
+    const ChunkId c = static_cast<ChunkId>(
+        rng.Uniform(static_cast<uint64_t>(env.grid().NumChunks(gb))));
+    if (env.cache->Contains({gb, c})) continue;
+    const int64_t before = vcm.counts().updates_applied();
+    CacheChunkFromBackend(env, gb, c);
+    const int64_t updates = vcm.counts().updates_applied() - before;
+    EXPECT_LE(updates, Lemma2Bound(env.schema(), lat.LevelOf(gb)))
+        << lat.LevelOf(gb).ToString();
+  }
+}
+
+TEST_P(Lemma2Test, DeleteUpdatesWithinBound) {
+  TestEnv env = MakeTestEnv(MakeThreeDimCube(), 0.6, GetParam() + 100,
+                            kBigCache);
+  VcmStrategy vcm(env.cube.grid.get(), env.cache.get());
+  env.cache->AddListener(vcm.listener());
+  Rng rng(GetParam() * 17 + 3);
+  const Lattice& lat = env.lattice();
+  std::vector<CacheKey> cached;
+  for (int i = 0; i < 60; ++i) {
+    const GroupById gb =
+        static_cast<GroupById>(rng.Uniform(lat.num_groupbys()));
+    const ChunkId c = static_cast<ChunkId>(
+        rng.Uniform(static_cast<uint64_t>(env.grid().NumChunks(gb))));
+    if (!env.cache->Contains({gb, c})) {
+      CacheChunkFromBackend(env, gb, c);
+      cached.push_back({gb, c});
+    }
+  }
+  for (const CacheKey& key : cached) {
+    const int64_t before = vcm.counts().updates_applied();
+    env.cache->Remove(key);
+    const int64_t updates = vcm.counts().updates_applied() - before;
+    EXPECT_LE(updates, Lemma2Bound(env.schema(), lat.LevelOf(key.gb)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Test, ::testing::Values(1u, 2u, 3u));
+
+// The amortized claim: over a bulk load of a whole group-by, updates per
+// insert stay far below the worst case because a chunk becomes newly
+// computable only once (paper Section 4.1).
+TEST(Lemma2Amortized, BulkLoadIsCheapOnAverage) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 1.0, 5, kBigCache);
+  VcmStrategy vcm(env.cube.grid.get(), env.cache.get());
+  env.cache->AddListener(vcm.listener());
+  const GroupById base = env.lattice().base_id();
+  for (ChunkId c = 0; c < env.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env, base, c);
+  }
+  const double per_insert =
+      static_cast<double>(vcm.counts().updates_applied()) /
+      static_cast<double>(env.grid().NumChunks(base));
+  // Worst case for the base level would be n * prod(h_i+1) = 2 * 6 = 12;
+  // amortized must be well under it.
+  EXPECT_LT(per_insert, 6.0);
+  // Re-loading an already-computable level costs nothing beyond the
+  // increments themselves (one update per insert).
+  const GroupById mid = env.lattice().IdOf(LevelVector{1, 1});
+  const int64_t before = vcm.counts().updates_applied();
+  for (ChunkId c = 0; c < env.grid().NumChunks(mid); ++c) {
+    CacheChunkFromBackend(env, mid, c);
+  }
+  EXPECT_EQ(vcm.counts().updates_applied() - before,
+            env.grid().NumChunks(mid));
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "schema/level_vector.h"
+
+namespace aac {
+namespace {
+
+TEST(LevelVector, InitializerListAndAccess) {
+  LevelVector v{1, 2, 0};
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 0);
+}
+
+TEST(LevelVector, UniformConstruction) {
+  LevelVector v = LevelVector::Uniform(4, 2);
+  EXPECT_EQ(v.size(), 4);
+  for (int d = 0; d < 4; ++d) EXPECT_EQ(v[d], 2);
+}
+
+TEST(LevelVector, SetAndWithLevel) {
+  LevelVector v{0, 0};
+  v.Set(1, 3);
+  EXPECT_EQ(v[1], 3);
+  LevelVector w = v.WithLevel(0, 5);
+  EXPECT_EQ(w[0], 5);
+  EXPECT_EQ(v[0], 0);  // original unchanged
+}
+
+TEST(LevelVector, Equality) {
+  EXPECT_EQ((LevelVector{1, 2}), (LevelVector{1, 2}));
+  EXPECT_NE((LevelVector{1, 2}), (LevelVector{2, 1}));
+  EXPECT_NE((LevelVector{1}), (LevelVector{1, 0}));
+}
+
+TEST(LevelVector, ComputableFromIsComponentwiseLE) {
+  LevelVector q{0, 2, 0};
+  EXPECT_TRUE(q.ComputableFrom(LevelVector{0, 2, 1}));
+  EXPECT_TRUE(q.ComputableFrom(LevelVector{1, 2, 0}));
+  EXPECT_TRUE(q.ComputableFrom(q));  // reflexive
+  EXPECT_FALSE(q.ComputableFrom(LevelVector{0, 1, 1}));
+  EXPECT_FALSE((LevelVector{1, 2, 1}).ComputableFrom(q));
+}
+
+TEST(LevelVector, ToString) {
+  EXPECT_EQ((LevelVector{1, 2, 0}).ToString(), "(1,2,0)");
+  EXPECT_EQ((LevelVector{7}).ToString(), "(7)");
+}
+
+TEST(LevelVector, HashDistinguishesSizeAndContent) {
+  std::unordered_set<LevelVector, LevelVectorHash,
+                     std::equal_to<LevelVector>>
+      set;
+  set.insert(LevelVector{0, 1});
+  set.insert(LevelVector{1, 0});
+  set.insert(LevelVector{0, 1, 0});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(LevelVector{0, 1}));
+}
+
+TEST(LevelVectorDeathTest, TooManyDimsAborts) {
+  EXPECT_DEATH(LevelVector::Uniform(kMaxDims + 1, 0), "AAC_CHECK");
+}
+
+}  // namespace
+}  // namespace aac

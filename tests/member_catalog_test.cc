@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "schema/member_catalog.h"
+#include "workload/apb_schema.h"
+
+namespace aac {
+namespace {
+
+TEST(MemberCatalog, FallbackNames) {
+  ApbCube cube;
+  MemberCatalog catalog(&cube.schema());
+  EXPECT_EQ(catalog.Name(2, 1, 3), "quarter-3");
+  EXPECT_EQ(catalog.Name(0, 6, 42), "code-42");
+}
+
+TEST(MemberCatalog, SetAndGet) {
+  ApbCube cube;
+  MemberCatalog catalog(&cube.schema());
+  catalog.SetName(2, 0, 0, "FY2024");
+  catalog.SetName(2, 0, 1, "FY2025");
+  EXPECT_EQ(catalog.Name(2, 0, 0), "FY2024");
+  EXPECT_EQ(catalog.Name(2, 0, 1), "FY2025");
+}
+
+TEST(MemberCatalog, LookupFindsAssignedOnly) {
+  ApbCube cube;
+  MemberCatalog catalog(&cube.schema());
+  catalog.SetName(3, 1, 7, "web");
+  EXPECT_EQ(catalog.Lookup(3, 1, "web"), 7);
+  EXPECT_EQ(catalog.Lookup(3, 1, "store"), -1);
+  EXPECT_EQ(catalog.Lookup(3, 1, "base-7"), -1);  // fallbacks not indexed
+}
+
+TEST(MemberCatalog, RenameUpdatesReverseIndex) {
+  ApbCube cube;
+  MemberCatalog catalog(&cube.schema());
+  catalog.SetName(1, 0, 2, "acme");
+  catalog.SetName(1, 0, 2, "globex");
+  EXPECT_EQ(catalog.Name(1, 0, 2), "globex");
+  EXPECT_EQ(catalog.Lookup(1, 0, "globex"), 2);
+}
+
+TEST(MemberCatalogDeathTest, OutOfRangeAborts) {
+  ApbCube cube;
+  MemberCatalog catalog(&cube.schema());
+  EXPECT_DEATH(catalog.SetName(0, 0, 99, "x"), "AAC_CHECK");
+  EXPECT_DEATH(catalog.Name(9, 0, 0), "AAC_CHECK");
+}
+
+}  // namespace
+}  // namespace aac

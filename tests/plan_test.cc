@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "core/plan.h"
+#include "test_util.h"
+
+namespace aac {
+namespace {
+
+std::unique_ptr<PlanNode> Leaf(GroupById gb, ChunkId c) {
+  auto node = std::make_unique<PlanNode>();
+  node->key = {gb, c};
+  node->cached = true;
+  return node;
+}
+
+TEST(PlanNode, LeafCounts) {
+  auto leaf = Leaf(0, 0);
+  EXPECT_EQ(leaf->NodeCount(), 1);
+  EXPECT_EQ(leaf->LeafCount(), 1);
+}
+
+TEST(PlanNode, NestedCounts) {
+  auto root = std::make_unique<PlanNode>();
+  root->key = {0, 0};
+  root->source_gb = 1;
+  auto mid = std::make_unique<PlanNode>();
+  mid->key = {1, 0};
+  mid->source_gb = 2;
+  mid->inputs.push_back(Leaf(2, 0));
+  mid->inputs.push_back(Leaf(2, 1));
+  root->inputs.push_back(std::move(mid));
+  root->inputs.push_back(Leaf(1, 1));
+  EXPECT_EQ(root->NodeCount(), 5);
+  EXPECT_EQ(root->LeafCount(), 3);
+}
+
+TEST(PlanNode, ToStringShowsStructure) {
+  TestCube cube = MakeSmallCube();
+  auto root = std::make_unique<PlanNode>();
+  root->key = {cube.lattice->top_id(), 0};
+  root->source_gb = cube.lattice->base_id();
+  root->inputs.push_back(Leaf(cube.lattice->base_id(), 3));
+  const std::string s = root->ToString(*cube.lattice);
+  EXPECT_NE(s.find("(0,0)#0"), std::string::npos);
+  EXPECT_NE(s.find("[cached]"), std::string::npos);
+  EXPECT_NE(s.find("(2,1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/preloader.h"
+#include "test_util.h"
+
+namespace aac {
+namespace {
+
+class PreloaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cube_ = MakeSmallCube();
+    base_cells_ = RandomBaseCells(cube_, 1.0, 3);  // full density
+    table_ = std::make_unique<FactTable>(cube_.grid.get(), base_cells_);
+    size_model_ = std::make_unique<ChunkSizeModel>(
+        cube_.grid.get(), table_->num_tuples(), /*bytes_per_tuple=*/10);
+    benefit_ = std::make_unique<BenefitModel>(size_model_.get());
+    backend_ = std::make_unique<BackendServer>(table_.get(), BackendCostModel(),
+                                               nullptr);
+    preloader_ = std::make_unique<Preloader>(size_model_.get(), benefit_.get());
+  }
+
+  TestCube cube_;
+  std::vector<Cell> base_cells_;
+  std::unique_ptr<FactTable> table_;
+  std::unique_ptr<ChunkSizeModel> size_model_;
+  std::unique_ptr<BenefitModel> benefit_;
+  std::unique_ptr<BackendServer> backend_;
+  std::unique_ptr<Preloader> preloader_;
+};
+
+TEST_F(PreloaderTest, LargeCacheChoosesBaseGroupBy) {
+  // The base group-by has the most descendants (the whole lattice); with a
+  // cache bigger than the base table it must be chosen.
+  const int64_t huge = table_->num_tuples() * 10 * 10;
+  EXPECT_EQ(preloader_->ChooseGroupBy(huge), cube_.lattice->base_id());
+}
+
+TEST_F(PreloaderTest, TinyCacheChoosesNothingOrTop) {
+  // Cache smaller than even the top group-by (4 cells x 10 bytes = 40).
+  EXPECT_EQ(preloader_->ChooseGroupBy(1), -1);
+}
+
+TEST_F(PreloaderTest, ChosenGroupByFits) {
+  for (int64_t capacity : {50, 100, 200, 400, 960}) {
+    const GroupById gb = preloader_->ChooseGroupBy(capacity);
+    if (gb < 0) continue;
+    EXPECT_LE(size_model_->ExpectedGroupByBytes(gb), capacity);
+  }
+}
+
+TEST_F(PreloaderTest, MaximizesDescendants) {
+  const Lattice& lat = *cube_.lattice;
+  for (int64_t capacity : {100, 200, 480, 960}) {
+    const GroupById chosen = preloader_->ChooseGroupBy(capacity);
+    if (chosen < 0) continue;
+    for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+      if (size_model_->ExpectedGroupByBytes(gb) > capacity) continue;
+      EXPECT_GE(lat.NumDescendants(chosen), lat.NumDescendants(gb));
+    }
+  }
+}
+
+TEST_F(PreloaderTest, PreloadFillsCache) {
+  TwoLevelPolicy policy;
+  const int64_t capacity = table_->num_tuples() * 10 + 100;
+  ChunkCache cache(capacity, 10, &policy);
+  PreloadResult result = preloader_->Preload(&cache, backend_.get());
+  EXPECT_EQ(result.gb, cube_.lattice->base_id());
+  EXPECT_EQ(result.chunks_loaded,
+            cube_.grid->NumChunks(cube_.lattice->base_id()));
+  EXPECT_EQ(result.tuples_loaded, table_->num_tuples());
+  // Every base chunk is now cached.
+  for (ChunkId c = 0; c < cube_.grid->NumChunks(result.gb); ++c) {
+    EXPECT_TRUE(cache.Contains({result.gb, c}));
+  }
+}
+
+TEST_F(PreloaderTest, PreloadIntoTooSmallCacheReturnsMinusOne) {
+  TwoLevelPolicy policy;
+  ChunkCache cache(1, 10, &policy);
+  PreloadResult result = preloader_->Preload(&cache, backend_.get());
+  EXPECT_EQ(result.gb, -1);
+  EXPECT_EQ(result.chunks_loaded, 0);
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/query_parser.h"
+#include "workload/apb_schema.h"
+
+namespace aac {
+namespace {
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  ApbCube cube_;
+  const Schema& schema() { return cube_.schema(); }
+};
+
+TEST_F(QueryParserTest, MinimalByClause) {
+  ParsedQuery p = ParseQuery(schema(), "BY product.class");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.query.fn, AggregateFunction::kSum);
+  EXPECT_EQ(p.query.level, (LevelVector{4, 0, 0, 0, 0}));
+  // Default ranges cover the whole level.
+  EXPECT_EQ(p.query.ranges[0].first, 0);
+  EXPECT_EQ(p.query.ranges[0].second, 96);
+  EXPECT_EQ(p.query.ranges[1].second, 5);  // customer at level 0
+}
+
+TEST_F(QueryParserTest, MultipleByItems) {
+  ParsedQuery p = ParseQuery(schema(), "SUM BY product.code, time.month");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.query.level, (LevelVector{6, 0, 2, 0, 0}));
+}
+
+TEST_F(QueryParserTest, AllAggregateFunctions) {
+  EXPECT_EQ(ParseQuery(schema(), "SUM BY time.year").query.fn,
+            AggregateFunction::kSum);
+  EXPECT_EQ(ParseQuery(schema(), "COUNT BY time.year").query.fn,
+            AggregateFunction::kCount);
+  EXPECT_EQ(ParseQuery(schema(), "MIN BY time.year").query.fn,
+            AggregateFunction::kMin);
+  EXPECT_EQ(ParseQuery(schema(), "MAX BY time.year").query.fn,
+            AggregateFunction::kMax);
+  EXPECT_EQ(ParseQuery(schema(), "AVG BY time.year").query.fn,
+            AggregateFunction::kAvg);
+}
+
+TEST_F(QueryParserTest, WhereRanges) {
+  ParsedQuery p = ParseQuery(
+      schema(), "SUM BY product.class, time.month WHERE product[8:32], "
+                "time[0:12]");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.query.ranges[0], (std::pair<int32_t, int32_t>{8, 32}));
+  EXPECT_EQ(p.query.ranges[2], (std::pair<int32_t, int32_t>{0, 12}));
+}
+
+TEST_F(QueryParserTest, CaseInsensitiveAndWhitespaceTolerant) {
+  ParsedQuery p = ParseQuery(
+      schema(), "  avg   by  Product.Class ,time.Month  where TIME[2:10] ");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.query.fn, AggregateFunction::kAvg);
+  EXPECT_EQ(p.query.level[0], 4);
+  EXPECT_EQ(p.query.ranges[2], (std::pair<int32_t, int32_t>{2, 10}));
+}
+
+TEST_F(QueryParserTest, ErrorsAreDescriptive) {
+  EXPECT_FALSE(ParseQuery(schema(), "SUM product.class").ok);
+  EXPECT_NE(ParseQuery(schema(), "SUM product.class").error.find("BY"),
+            std::string::npos);
+  EXPECT_FALSE(ParseQuery(schema(), "MEDIAN BY time.year").ok);
+  EXPECT_FALSE(ParseQuery(schema(), "BY warehouse.bin").ok);
+  EXPECT_FALSE(ParseQuery(schema(), "BY product.sku").ok);
+  EXPECT_FALSE(ParseQuery(schema(), "BY product").ok);
+  EXPECT_FALSE(
+      ParseQuery(schema(), "BY time.month WHERE time[5:2]").ok);
+  EXPECT_FALSE(
+      ParseQuery(schema(), "BY time.month WHERE time[0:999]").ok);
+  EXPECT_FALSE(ParseQuery(schema(), "BY time.month WHERE time[a:b]").ok);
+  EXPECT_FALSE(ParseQuery(schema(), "BY time.month WHERE time 0:5").ok);
+}
+
+TEST_F(QueryParserTest, RangesValidateAgainstChosenLevel) {
+  // time.month has 24 values: [0:24) is fine, [0:25) is not.
+  EXPECT_TRUE(ParseQuery(schema(), "BY time.month WHERE time[0:24]").ok);
+  EXPECT_FALSE(ParseQuery(schema(), "BY time.month WHERE time[0:25]").ok);
+}
+
+TEST_F(QueryParserTest, ParsedQueryIsExecutableShape) {
+  ParsedQuery p = ParseQuery(schema(), "BY product.family, customer.chain");
+  ASSERT_TRUE(p.ok);
+  EXPECT_TRUE(schema().IsValidLevel(p.query.level));
+  EXPECT_GT(NumChunksForQuery(cube_.grid(), p.query), 0);
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/apb_schema.h"
+#include "workload/query_stream.h"
+
+namespace aac {
+namespace {
+
+bool RangesValid(const Schema& schema, const Query& q) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const auto [lo, hi] = q.ranges[static_cast<size_t>(d)];
+    if (lo < 0 || lo >= hi ||
+        hi > schema.dimension(d).cardinality(q.level[d])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(QueryStream, GeneratesRequestedCountWithValidQueries) {
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.num_queries = 200;
+  QueryStreamGenerator gen(&cube.schema(), config);
+  std::vector<QueryStreamEntry> stream = gen.Generate();
+  ASSERT_EQ(stream.size(), 200u);
+  for (const auto& entry : stream) {
+    EXPECT_TRUE(cube.schema().IsValidLevel(entry.query.level));
+    EXPECT_TRUE(RangesValid(cube.schema(), entry.query));
+  }
+}
+
+TEST(QueryStream, MixApproximatesConfiguredFractions) {
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.num_queries = 4000;
+  QueryStreamGenerator gen(&cube.schema(), config);
+  std::map<QueryKind, int> counts;
+  for (const auto& entry : gen.Generate()) ++counts[entry.kind];
+  const double n = 4000.0;
+  EXPECT_NEAR(counts[QueryKind::kDrillDown] / n, 0.3, 0.05);
+  EXPECT_NEAR(counts[QueryKind::kRollUp] / n, 0.3, 0.05);
+  EXPECT_NEAR(counts[QueryKind::kProximity] / n, 0.3, 0.05);
+  EXPECT_NEAR(counts[QueryKind::kRandom] / n, 0.1, 0.05);
+}
+
+TEST(QueryStream, FirstQueryIsRandom) {
+  ApbCube cube;
+  QueryStreamGenerator gen(&cube.schema(), QueryStreamConfig());
+  std::vector<QueryStreamEntry> stream = gen.Generate(1);
+  EXPECT_EQ(stream[0].kind, QueryKind::kRandom);
+}
+
+TEST(QueryStream, DeterministicForSeed) {
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.seed = 123;
+  QueryStreamGenerator a(&cube.schema(), config);
+  QueryStreamGenerator b(&cube.schema(), config);
+  auto sa = a.Generate(50);
+  auto sb = b.Generate(50);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].kind, sb[i].kind);
+    EXPECT_EQ(sa[i].query.level, sb[i].query.level);
+    for (int d = 0; d < cube.schema().num_dims(); ++d) {
+      EXPECT_EQ(sa[i].query.ranges[static_cast<size_t>(d)],
+                sb[i].query.ranges[static_cast<size_t>(d)]);
+    }
+  }
+}
+
+TEST(QueryStream, DrillDownGoesOneLevelDeeper) {
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.drill_down_frac = 1.0;
+  config.roll_up_frac = 0.0;
+  config.proximity_frac = 0.0;
+  QueryStreamGenerator gen(&cube.schema(), config);
+  std::vector<QueryStreamEntry> stream = gen.Generate(50);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].kind != QueryKind::kDrillDown) continue;
+    const LevelVector& prev = stream[i - 1].query.level;
+    const LevelVector& cur = stream[i].query.level;
+    int deeper = 0, other = 0;
+    for (int d = 0; d < cube.schema().num_dims(); ++d) {
+      if (cur[d] == prev[d] + 1) {
+        ++deeper;
+      } else if (cur[d] != prev[d]) {
+        ++other;
+      }
+    }
+    EXPECT_EQ(deeper, 1);
+    EXPECT_EQ(other, 0);
+  }
+}
+
+TEST(QueryStream, RollUpGoesOneLevelUp) {
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.drill_down_frac = 0.0;
+  config.roll_up_frac = 1.0;
+  config.proximity_frac = 0.0;
+  QueryStreamGenerator gen(&cube.schema(), config);
+  std::vector<QueryStreamEntry> stream = gen.Generate(50);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].kind != QueryKind::kRollUp) continue;
+    const LevelVector& prev = stream[i - 1].query.level;
+    const LevelVector& cur = stream[i].query.level;
+    int up = 0, other = 0;
+    for (int d = 0; d < cube.schema().num_dims(); ++d) {
+      if (cur[d] == prev[d] - 1) {
+        ++up;
+      } else if (cur[d] != prev[d]) {
+        ++other;
+      }
+    }
+    EXPECT_EQ(up, 1);
+    EXPECT_EQ(other, 0);
+  }
+}
+
+TEST(QueryStream, RollUpRangeCoversPreviousSelection) {
+  // The rolled-up range must contain the ancestors of the previous range.
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.drill_down_frac = 0.0;
+  config.roll_up_frac = 1.0;
+  config.proximity_frac = 0.0;
+  QueryStreamGenerator gen(&cube.schema(), config);
+  std::vector<QueryStreamEntry> stream = gen.Generate(50);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].kind != QueryKind::kRollUp) continue;
+    const Query& prev = stream[i - 1].query;
+    const Query& cur = stream[i].query;
+    for (int d = 0; d < cube.schema().num_dims(); ++d) {
+      if (cur.level[d] != prev.level[d] - 1) continue;
+      const Dimension& dim = cube.schema().dimension(d);
+      const auto [plo, phi] = prev.ranges[static_cast<size_t>(d)];
+      const auto [clo, chi] = cur.ranges[static_cast<size_t>(d)];
+      EXPECT_LE(clo, dim.ParentValue(prev.level[d], plo));
+      EXPECT_GE(chi, dim.ParentValue(prev.level[d], phi - 1) + 1);
+    }
+  }
+}
+
+TEST(QueryStream, ProximityKeepsLevelAndWidth) {
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.drill_down_frac = 0.0;
+  config.roll_up_frac = 0.0;
+  config.proximity_frac = 1.0;
+  QueryStreamGenerator gen(&cube.schema(), config);
+  std::vector<QueryStreamEntry> stream = gen.Generate(50);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].kind != QueryKind::kProximity) continue;
+    EXPECT_EQ(stream[i].query.level, stream[i - 1].query.level);
+  }
+}
+
+TEST(QueryStream, KindNames) {
+  EXPECT_STREQ(QueryKindName(QueryKind::kRandom), "random");
+  EXPECT_STREQ(QueryKindName(QueryKind::kDrillDown), "drill-down");
+  EXPECT_STREQ(QueryKindName(QueryKind::kRollUp), "roll-up");
+  EXPECT_STREQ(QueryKindName(QueryKind::kProximity), "proximity");
+}
+
+}  // namespace
+}  // namespace aac

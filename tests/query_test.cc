@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/query.h"
+#include "test_util.h"
+
+namespace aac {
+namespace {
+
+TEST(Query, WholeLevelCoversAllChunks) {
+  TestCube cube = MakeSmallCube();
+  for (GroupById gb = 0; gb < cube.lattice->num_groupbys(); ++gb) {
+    Query q = Query::WholeLevel(*cube.schema, cube.lattice->LevelOf(gb));
+    std::vector<ChunkId> chunks = ChunksForQuery(*cube.grid, q);
+    EXPECT_EQ(static_cast<int64_t>(chunks.size()), cube.grid->NumChunks(gb));
+    EXPECT_EQ(NumChunksForQuery(*cube.grid, q), cube.grid->NumChunks(gb));
+  }
+}
+
+TEST(Query, RangeSelectsOverlappingChunks) {
+  TestCube cube = MakeSmallCube();
+  // Base level: product 12 values / 4 chunks of 3; time 8 values / 2 chunks
+  // of 4. Select product values [2, 5) (chunks 0 and 1), time [0, 4)
+  // (chunk 0).
+  Query q;
+  q.level = cube.schema->base_level();
+  q.ranges[0] = {2, 5};
+  q.ranges[1] = {0, 4};
+  std::vector<ChunkId> chunks = ChunksForQuery(*cube.grid, q);
+  EXPECT_EQ(chunks.size(), 2u);
+  std::set<ChunkId> set(chunks.begin(), chunks.end());
+  const GroupById base = cube.lattice->base_id();
+  ChunkCoords c0{};
+  c0[0] = 0;
+  c0[1] = 0;
+  ChunkCoords c1{};
+  c1[0] = 1;
+  c1[1] = 0;
+  EXPECT_TRUE(set.count(cube.grid->ChunkIdOf(base, c0)));
+  EXPECT_TRUE(set.count(cube.grid->ChunkIdOf(base, c1)));
+}
+
+TEST(Query, SingleCellQueryHitsOneChunk) {
+  TestCube cube = MakeSmallCube();
+  Query q;
+  q.level = cube.schema->base_level();
+  q.ranges[0] = {7, 8};
+  q.ranges[1] = {5, 6};
+  std::vector<ChunkId> chunks = ChunksForQuery(*cube.grid, q);
+  ASSERT_EQ(chunks.size(), 1u);
+  int32_t values[2] = {7, 5};
+  EXPECT_EQ(chunks[0],
+            cube.grid->ChunkOfCell(cube.lattice->base_id(), values));
+}
+
+TEST(Query, ChunksAreUniqueAndInRange) {
+  TestCube cube = MakeThreeDimCube();
+  Query q = Query::WholeLevel(*cube.schema, LevelVector{1, 1, 0});
+  std::vector<ChunkId> chunks = ChunksForQuery(*cube.grid, q);
+  std::set<ChunkId> set(chunks.begin(), chunks.end());
+  EXPECT_EQ(set.size(), chunks.size());
+  const GroupById gb = cube.lattice->IdOf(q.level);
+  for (ChunkId c : chunks) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, cube.grid->NumChunks(gb));
+  }
+}
+
+TEST(Query, ToStringMentionsLevelAndRanges) {
+  TestCube cube = MakeSmallCube();
+  Query q = Query::WholeLevel(*cube.schema, LevelVector{1, 0});
+  const std::string s = q.ToString(*cube.schema);
+  EXPECT_NE(s.find("(1,0)"), std::string::npos);
+  EXPECT_NE(s.find("p=[0,4)"), std::string::npos);
+}
+
+TEST(QueryDeathTest, EmptyRangeAborts) {
+  TestCube cube = MakeSmallCube();
+  Query q = Query::WholeLevel(*cube.schema, LevelVector{0, 0});
+  q.ranges[0] = {1, 1};
+  EXPECT_DEATH(ChunksForQuery(*cube.grid, q), "AAC_CHECK");
+}
+
+TEST(QueryDeathTest, OutOfRangeAborts) {
+  TestCube cube = MakeSmallCube();
+  Query q = Query::WholeLevel(*cube.schema, LevelVector{0, 0});
+  q.ranges[1] = {0, 100};
+  EXPECT_DEATH(ChunksForQuery(*cube.grid, q), "AAC_CHECK");
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "cache/replacement.h"
+
+namespace aac {
+namespace {
+
+CacheEntryInfo MakeInfo(double benefit, ChunkSource source) {
+  CacheEntryInfo info;
+  info.key = {0, 0};
+  info.bytes = 10;
+  info.benefit = benefit;
+  info.source = source;
+  return info;
+}
+
+TEST(NormalizedWeight, MonotoneAndBounded) {
+  EXPECT_DOUBLE_EQ(ReplacementPolicy::NormalizedWeight(0.0), 1.0);
+  double prev = 0.0;
+  for (double b : {0.0, 1.0, 10.0, 1e3, 1e6, 1e12}) {
+    const double w = ReplacementPolicy::NormalizedWeight(b);
+    EXPECT_GE(w, prev);
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 32.0);
+    prev = w;
+  }
+}
+
+TEST(NormalizedWeight, NegativeBenefitClampsToOne) {
+  EXPECT_DOUBLE_EQ(ReplacementPolicy::NormalizedWeight(-5.0), 1.0);
+}
+
+TEST(BenefitPolicy, ClockValueGrowsWithBenefit) {
+  BenefitPolicy p;
+  EXPECT_LT(p.ClockValue(MakeInfo(1.0, ChunkSource::kBackend)),
+            p.ClockValue(MakeInfo(1000.0, ChunkSource::kBackend)));
+}
+
+TEST(BenefitPolicy, AnyoneCanReplaceAnyone) {
+  BenefitPolicy p;
+  EXPECT_TRUE(p.CanReplace(MakeInfo(1, ChunkSource::kCacheComputed),
+                           MakeInfo(100, ChunkSource::kBackend)));
+  EXPECT_TRUE(p.CanReplace(MakeInfo(1, ChunkSource::kBackend),
+                           MakeInfo(100, ChunkSource::kCacheComputed)));
+}
+
+TEST(TwoLevelPolicy, CacheComputedCannotReplaceBackend) {
+  TwoLevelPolicy p;
+  EXPECT_FALSE(p.CanReplace(MakeInfo(100, ChunkSource::kCacheComputed),
+                            MakeInfo(1, ChunkSource::kBackend)));
+}
+
+TEST(TwoLevelPolicy, BackendCanReplaceEither) {
+  TwoLevelPolicy p;
+  EXPECT_TRUE(p.CanReplace(MakeInfo(1, ChunkSource::kBackend),
+                           MakeInfo(100, ChunkSource::kBackend)));
+  EXPECT_TRUE(p.CanReplace(MakeInfo(1, ChunkSource::kBackend),
+                           MakeInfo(100, ChunkSource::kCacheComputed)));
+}
+
+TEST(TwoLevelPolicy, CacheComputedCanReplaceCacheComputed) {
+  TwoLevelPolicy p;
+  EXPECT_TRUE(p.CanReplace(MakeInfo(1, ChunkSource::kCacheComputed),
+                           MakeInfo(100, ChunkSource::kCacheComputed)));
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace aac {
+namespace {
+
+Schema MakeTestSchema() {
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Uniform("product", 1, {2, 3}));  // h=2
+  dims.push_back(Dimension::Uniform("time", 1, {4}));        // h=1
+  return Schema(std::move(dims));
+}
+
+TEST(Schema, BasicAccessors) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.num_dims(), 2);
+  EXPECT_EQ(s.dimension(0).name(), "product");
+  EXPECT_EQ(s.dimension(1).name(), "time");
+}
+
+TEST(Schema, BaseAndTopLevels) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.base_level(), (LevelVector{2, 1}));
+  EXPECT_EQ(s.top_level(), (LevelVector{0, 0}));
+}
+
+TEST(Schema, IsValidLevel) {
+  Schema s = MakeTestSchema();
+  EXPECT_TRUE(s.IsValidLevel(LevelVector{0, 0}));
+  EXPECT_TRUE(s.IsValidLevel(LevelVector{2, 1}));
+  EXPECT_FALSE(s.IsValidLevel(LevelVector{3, 0}));
+  EXPECT_FALSE(s.IsValidLevel(LevelVector{0, 2}));
+  EXPECT_FALSE(s.IsValidLevel(LevelVector{0}));
+  EXPECT_FALSE(s.IsValidLevel(LevelVector{0, -1}));
+}
+
+TEST(Schema, NumGroupBys) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.NumGroupBys(), 3 * 2);
+}
+
+TEST(Schema, NumCells) {
+  Schema s = MakeTestSchema();
+  // product cards: 1, 2, 6; time cards: 1, 4.
+  EXPECT_EQ(s.NumCells(LevelVector{0, 0}), 1);
+  EXPECT_EQ(s.NumCells(LevelVector{2, 1}), 6 * 4);
+  EXPECT_EQ(s.NumCells(LevelVector{1, 1}), 2 * 4);
+}
+
+TEST(SchemaDeathTest, EmptySchemaAborts) {
+  EXPECT_DEATH(Schema({}), "AAC_CHECK");
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cache/snapshot.h"
+#include "core/vcm.h"
+#include "test_env.h"
+
+namespace aac {
+namespace {
+
+constexpr int64_t kBigCache = 1'000'000;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = MakeTestEnv(MakeSmallCube(), 0.7, 33, kBigCache,
+                       /*two_level_policy=*/true);
+    // Populate with a mix of levels and provenances.
+    const GroupById base = env_.lattice().base_id();
+    for (ChunkId c = 0; c < env_.grid().NumChunks(base); ++c) {
+      CacheChunkFromBackend(env_, base, c);
+    }
+    const GroupById mid = env_.lattice().IdOf(LevelVector{1, 1});
+    CacheChunkFromBackend(env_, mid, 0);
+  }
+
+  TestEnv env_;
+};
+
+TEST_F(SnapshotTest, SaveAndReloadRestoresEntries) {
+  const std::string path = TempPath("cache.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, env_.cache->bytes_per_tuple(), &policy);
+  const int64_t restored =
+      CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh);
+  EXPECT_EQ(restored, static_cast<int64_t>(env_.cache->num_entries()));
+  EXPECT_EQ(fresh.num_entries(), env_.cache->num_entries());
+  EXPECT_EQ(fresh.bytes_used(), env_.cache->bytes_used());
+
+  // Contents survive byte-for-value.
+  env_.cache->ForEach([&](const CacheEntryInfo& info) {
+    const ChunkData* a = env_.cache->Peek(info.key);
+    const ChunkData* b = fresh.Peek(info.key);
+    ASSERT_NE(b, nullptr);
+    ChunkData ca = *a, cb = *b;
+    EXPECT_TRUE(ChunkDataEquals(env_.schema().num_dims(), &ca, &cb));
+  });
+}
+
+TEST_F(SnapshotTest, ReloadRebuildsVirtualCounts) {
+  const std::string path = TempPath("counts.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, env_.cache->bytes_per_tuple(), &policy);
+  VcmStrategy vcm(env_.cube.grid.get(), &fresh);
+  fresh.AddListener(vcm.listener());
+  ASSERT_GT(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), 0);
+  // Base fully restored => everything computable, counts consistent.
+  EXPECT_TRUE(vcm.IsComputable(env_.lattice().top_id(), 0));
+  const std::vector<uint8_t> scratch = vcm.counts().ComputeFromScratch();
+  for (GroupById gb = 0; gb < env_.lattice().num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env_.grid().NumChunks(gb); ++c) {
+      ASSERT_EQ(vcm.counts().CountOf(gb, c),
+                scratch[OracleIndex(env_, gb, c)]);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, SmallerCacheLoadsWhatFits) {
+  const std::string path = TempPath("small.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+  TwoLevelPolicy policy;
+  ChunkCache tiny(env_.cache->bytes_used() / 3,
+                  env_.cache->bytes_per_tuple(), &policy);
+  const int64_t restored =
+      CacheSnapshot::Load(path, env_.schema().num_dims(), &tiny);
+  EXPECT_GE(restored, 0);
+  // Admission may evict earlier snapshot entries; what matters is that the
+  // restored cache respects its capacity and holds fewer entries.
+  EXPECT_LT(tiny.num_entries(), env_.cache->num_entries());
+  EXPECT_LE(tiny.bytes_used(), tiny.capacity_bytes());
+}
+
+TEST_F(SnapshotTest, RejectsWrongDims) {
+  const std::string path = TempPath("dims.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, 10, &policy);
+  EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims() + 2, &fresh),
+            -1);
+}
+
+TEST_F(SnapshotTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.aacs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage", f);
+  std::fclose(f);
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, 10, &policy);
+  EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), -1);
+}
+
+TEST_F(SnapshotTest, DetectsTruncation) {
+  const std::string path = TempPath("trunc.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 8), 0);
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, 10, &policy);
+  EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), -1);
+}
+
+}  // namespace
+}  // namespace aac

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/apb_schema.h"
+#include "workload/trace.h"
+
+namespace aac {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(QueryTrace, RoundTripGeneratedStream) {
+  ApbCube cube;
+  QueryStreamConfig config;
+  config.num_queries = 40;
+  config.seed = 9;
+  QueryStreamGenerator gen(&cube.schema(), config);
+  std::vector<QueryStreamEntry> stream = gen.Generate();
+  const std::string path = TempPath("stream.trace");
+  ASSERT_TRUE(QueryTrace::Write(path, stream));
+
+  bool ok = false;
+  std::vector<QueryStreamEntry> replayed =
+      QueryTrace::Read(path, cube.schema(), &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(replayed.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(replayed[i].kind, stream[i].kind);
+    EXPECT_EQ(replayed[i].query.fn, stream[i].query.fn);
+    EXPECT_EQ(replayed[i].query.level, stream[i].query.level);
+    for (int d = 0; d < cube.schema().num_dims(); ++d) {
+      EXPECT_EQ(replayed[i].query.ranges[static_cast<size_t>(d)],
+                stream[i].query.ranges[static_cast<size_t>(d)]);
+    }
+  }
+}
+
+TEST(QueryTrace, CommentsAndBlankLinesIgnored) {
+  ApbCube cube;
+  const std::string path = TempPath("comments.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# a comment\n\n");
+  std::fprintf(f, "random SUM (0,0,0,0,0) 0:3,0:5,0:2,0:1,0:1 # inline\n");
+  std::fclose(f);
+  bool ok = false;
+  std::vector<QueryStreamEntry> stream =
+      QueryTrace::Read(path, cube.schema(), &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].kind, QueryKind::kRandom);
+  EXPECT_EQ(stream[0].query.ranges[1],
+            (std::pair<int32_t, int32_t>{0, 5}));
+}
+
+TEST(QueryTrace, RejectsMalformedLines) {
+  ApbCube cube;
+  for (const char* bad : {
+           "random SUM (0,0,0,0,0)\n",                      // missing ranges
+           "sideways SUM (0,0,0,0,0) 0:3,0:5,0:2,0:1,0:1\n",  // bad kind
+           "random MEDIAN (0,0,0,0,0) 0:3,0:5,0:2,0:1,0:1\n",  // bad fn
+           "random SUM (9,0,0,0,0) 0:3,0:5,0:2,0:1,0:1\n",     // bad level
+           "random SUM (0,0,0,0,0) 0:99,0:5,0:2,0:1,0:1\n",    // bad range
+           "random SUM (0,0,0,0,0) 3:1,0:5,0:2,0:1,0:1\n",     // empty range
+       }) {
+    const std::string path = TempPath("bad.trace");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(bad, f);
+    std::fclose(f);
+    bool ok = true;
+    std::vector<QueryStreamEntry> stream =
+        QueryTrace::Read(path, cube.schema(), &ok);
+    EXPECT_FALSE(ok) << bad;
+    EXPECT_TRUE(stream.empty());
+  }
+}
+
+TEST(QueryTrace, MissingFileFails) {
+  ApbCube cube;
+  bool ok = true;
+  QueryTrace::Read(TempPath("no-such.trace"), cube.schema(), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(QueryTrace, EmptyTraceIsOk) {
+  ApbCube cube;
+  const std::string path = TempPath("empty.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# nothing here\n");
+  std::fclose(f);
+  bool ok = false;
+  std::vector<QueryStreamEntry> stream =
+      QueryTrace::Read(path, cube.schema(), &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(stream.empty());
+}
+
+}  // namespace
+}  // namespace aac

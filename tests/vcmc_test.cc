@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "core/esmc.h"
+#include "core/memo_esmc.h"
+#include "core/vcmc.h"
+#include "test_env.h"
+
+namespace aac {
+namespace {
+
+constexpr int64_t kBigCache = 1'000'000;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void ExpectCostsMatchScratch(const TestEnv& env, const VcmcStrategy& vcmc) {
+  const auto [costs, parents] = vcmc.ComputeCostsFromScratch();
+  const Lattice& lat = env.lattice();
+  for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env.grid().NumChunks(gb); ++c) {
+      const double want = costs[OracleIndex(env, gb, c)];
+      const double got = vcmc.CostOf(gb, c);
+      if (want == kInf) {
+        EXPECT_EQ(got, kInf) << lat.LevelOf(gb).ToString() << "#" << c;
+      } else {
+        EXPECT_NEAR(got, want, 1e-6 * (1.0 + want))
+            << lat.LevelOf(gb).ToString() << "#" << c;
+      }
+    }
+  }
+}
+
+TEST(Vcmc, EmptyCacheAllCostsInfinite) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 1, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  for (GroupById gb = 0; gb < env.lattice().num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env.grid().NumChunks(gb); ++c) {
+      EXPECT_EQ(vcmc.CostOf(gb, c), kInf);
+      EXPECT_EQ(vcmc.BestParentOf(gb, c), VcmcStrategy::kNone);
+    }
+  }
+}
+
+TEST(Vcmc, CachedChunkHasZeroCostSelfParent) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 2, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  const GroupById gb = env.lattice().IdOf(LevelVector{1, 1});
+  CacheChunkFromBackend(env, gb, 0);
+  EXPECT_EQ(vcmc.CostOf(gb, 0), 0.0);
+  EXPECT_EQ(vcmc.BestParentOf(gb, 0), VcmcStrategy::kSelf);
+}
+
+TEST(Vcmc, CostsMatchScratchAfterRandomInserts) {
+  TestEnv env = MakeTestEnv(MakeThreeDimCube(), 0.5, 3, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  Rng rng(55);
+  const Lattice& lat = env.lattice();
+  for (int i = 0; i < 50; ++i) {
+    const GroupById gb =
+        static_cast<GroupById>(rng.Uniform(lat.num_groupbys()));
+    const ChunkId c = static_cast<ChunkId>(
+        rng.Uniform(static_cast<uint64_t>(env.grid().NumChunks(gb))));
+    if (!env.cache->Contains({gb, c})) CacheChunkFromBackend(env, gb, c);
+  }
+  ExpectCostsMatchScratch(env, vcmc);
+}
+
+TEST(Vcmc, CostsMatchScratchAfterInsertsAndDeletes) {
+  TestEnv env = MakeTestEnv(MakeThreeDimCube(), 0.5, 4, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  Rng rng(66);
+  const Lattice& lat = env.lattice();
+  std::vector<CacheKey> cached;
+  for (int i = 0; i < 120; ++i) {
+    const bool remove = !cached.empty() && rng.Bernoulli(0.4);
+    if (remove) {
+      const size_t pick = rng.Uniform(cached.size());
+      env.cache->Remove(cached[pick]);
+      cached.erase(cached.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      const GroupById gb =
+          static_cast<GroupById>(rng.Uniform(lat.num_groupbys()));
+      const ChunkId c = static_cast<ChunkId>(
+          rng.Uniform(static_cast<uint64_t>(env.grid().NumChunks(gb))));
+      if (!env.cache->Contains({gb, c})) {
+        CacheChunkFromBackend(env, gb, c);
+        cached.push_back({gb, c});
+      }
+    }
+  }
+  ExpectCostsMatchScratch(env, vcmc);
+  // Counts stay consistent with costs: finite cost iff computable.
+  for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env.grid().NumChunks(gb); ++c) {
+      EXPECT_EQ(vcmc.CostOf(gb, c) != kInf,
+                vcmc.counts().IsComputable(gb, c));
+    }
+  }
+}
+
+TEST(Vcmc, AgreesWithMemoizedExhaustiveSearch) {
+  TestEnv env = MakeTestEnv(MakeThreeDimCube(), 0.5, 5, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  Rng rng(88);
+  const Lattice& lat = env.lattice();
+  for (int i = 0; i < 35; ++i) {
+    const GroupById gb =
+        static_cast<GroupById>(rng.Uniform(lat.num_groupbys()));
+    const ChunkId c = static_cast<ChunkId>(
+        rng.Uniform(static_cast<uint64_t>(env.grid().NumChunks(gb))));
+    if (!env.cache->Contains({gb, c})) CacheChunkFromBackend(env, gb, c);
+  }
+  MemoizedEsmcStrategy memo(env.cube.grid.get(), env.cache.get(),
+                            env.size_model.get());
+  for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env.grid().NumChunks(gb); ++c) {
+      auto plan = memo.FindPlan(gb, c);
+      if (plan == nullptr) {
+        EXPECT_EQ(vcmc.CostOf(gb, c), kInf);
+      } else {
+        EXPECT_NEAR(vcmc.CostOf(gb, c), plan->estimated_cost,
+                    1e-6 * (1.0 + plan->estimated_cost));
+      }
+    }
+  }
+}
+
+TEST(Vcmc, AgreesWithNaiveEsmcOnSmallCube) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.8, 6, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  Rng rng(44);
+  const Lattice& lat = env.lattice();
+  for (int i = 0; i < 12; ++i) {
+    const GroupById gb =
+        static_cast<GroupById>(rng.Uniform(lat.num_groupbys()));
+    const ChunkId c = static_cast<ChunkId>(
+        rng.Uniform(static_cast<uint64_t>(env.grid().NumChunks(gb))));
+    if (!env.cache->Contains({gb, c})) CacheChunkFromBackend(env, gb, c);
+  }
+  EsmcStrategy esmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
+    for (ChunkId c = 0; c < env.grid().NumChunks(gb); ++c) {
+      auto plan = esmc.FindPlan(gb, c);
+      if (plan == nullptr) {
+        EXPECT_EQ(vcmc.CostOf(gb, c), kInf);
+      } else {
+        EXPECT_NEAR(vcmc.CostOf(gb, c), plan->estimated_cost,
+                    1e-6 * (1.0 + plan->estimated_cost));
+      }
+    }
+  }
+  EXPECT_EQ(esmc.metrics().budget_exhausted, 0);
+}
+
+TEST(Vcmc, PlanFollowsBestParents) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 1.0, 7, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  const Lattice& lat = env.lattice();
+  const GroupById base = lat.base_id();
+  const GroupById mid = lat.IdOf(LevelVector{1, 1});
+  for (ChunkId c = 0; c < env.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env, base, c);
+  }
+  for (ChunkId c = 0; c < env.grid().NumChunks(mid); ++c) {
+    CacheChunkFromBackend(env, mid, c);
+  }
+  auto plan = vcmc.FindPlan(lat.top_id(), 0);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_NEAR(plan->estimated_cost, vcmc.CostOf(lat.top_id(), 0), 1e-9);
+  // The cheap path goes through the cached intermediate level, never
+  // touching base chunks: all leaves must be at mid level or higher.
+  std::function<void(const PlanNode&)> check = [&](const PlanNode& node) {
+    if (node.cached) {
+      EXPECT_NE(node.key.gb, base);
+      return;
+    }
+    for (const auto& input : node.inputs) check(*input);
+  };
+  check(*plan);
+}
+
+TEST(Vcmc, LookupIsConstantTimeWhenNotComputable) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 8, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  vcmc.ResetMetrics();
+  EXPECT_FALSE(vcmc.IsComputable(env.lattice().top_id(), 0));
+  EXPECT_EQ(vcmc.metrics().nodes_visited, 1);
+}
+
+TEST(Vcmc, SpaceOverheadCountsAllArrays) {
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 0.5, 9, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  const int64_t chunks = env.grid().TotalChunksAllGroupBys();
+  // 1 byte count + 8 byte cost + 1 byte best-parent per chunk.
+  EXPECT_EQ(vcmc.SpaceOverheadBytes(), chunks * 10);
+}
+
+TEST(Vcmc, CostDropsWhenCheaperLevelArrives) {
+  // Paper Table 2's observation: inserting chunks of (6,2,3,0,0) after the
+  // base level does not change counts but does change costs.
+  TestEnv env = MakeTestEnv(MakeSmallCube(), 1.0, 10, kBigCache);
+  VcmcStrategy vcmc(env.cube.grid.get(), env.cache.get(),
+                    env.size_model.get());
+  env.cache->AddListener(vcmc.listener());
+  const Lattice& lat = env.lattice();
+  const GroupById base = lat.base_id();
+  for (ChunkId c = 0; c < env.grid().NumChunks(base); ++c) {
+    CacheChunkFromBackend(env, base, c);
+  }
+  const double before = vcmc.CostOf(lat.top_id(), 0);
+  const int32_t count_before = vcmc.counts().CountOf(lat.top_id(), 0);
+  const GroupById mid = lat.IdOf(LevelVector{1, 1});
+  for (ChunkId c = 0; c < env.grid().NumChunks(mid); ++c) {
+    CacheChunkFromBackend(env, mid, c);
+  }
+  EXPECT_LT(vcmc.CostOf(lat.top_id(), 0), before);
+  EXPECT_GE(vcmc.counts().CountOf(lat.top_id(), 0), count_before);
+  ExpectCostsMatchScratch(env, vcmc);
+}
+
+}  // namespace
+}  // namespace aac
