@@ -1,0 +1,91 @@
+// Ablation: graceful degradation under backend faults. The paper assumed a
+// reliable (if slow) backend; a production middle tier sees transient
+// errors, timeouts and latency spikes. This bench sweeps the fault rate
+// from 0 to 50% and runs the same VCMC stream with and without the circuit
+// breaker, reporting how the hit rate, the fraction of degraded answers
+// and the mean query latency respond.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/support.h"
+#include "util/table_printer.h"
+#include "workload/workload_runner.h"
+
+namespace aac {
+namespace {
+
+WorkloadTotals RunOne(double fault_rate, bool breaker) {
+  ExperimentConfig config = bench::BaseConfig();
+  config.strategy = StrategyKind::kVcmc;
+  config.policy = PolicyKind::kTwoLevel;
+  config.engine.boost_groups = true;
+  config.preload = true;
+  // Mostly fast transient errors, some timeouts and spikes — a flaky but
+  // not pathological shared RDBMS.
+  config.faults.transient_error_rate = fault_rate * 0.7;
+  config.faults.timeout_rate = fault_rate * 0.2;
+  config.faults.latency_spike_rate = fault_rate * 0.1;
+  config.engine.circuit_breaker = breaker;
+  Experiment exp(config);
+  QueryStreamGenerator gen(&exp.schema(), bench::StreamConfig());
+  return RunWorkload(exp.engine(), gen.Generate());
+}
+
+void Run() {
+  {
+    ExperimentConfig banner = bench::BaseConfig();
+    Experiment exp(banner);
+    bench::PrintBanner(
+        "Ablation: fault injection and graceful degradation",
+        "robustness extension — the paper's middle tier (Section 2) against "
+        "a fallible backend: retry/backoff, circuit breaker, cache-only "
+        "degraded answers",
+        exp);
+  }
+
+  bench::CsvEmitter csv("ablation_faults",
+                        {"fault_rate", "breaker", "hit_pct", "degraded_pct",
+                         "unavailable_chunks", "retries", "rejected",
+                         "avg_ms"});
+  TablePrinter table({"fault rate", "breaker", "% complete hits",
+                      "% degraded", "chunks unavailable", "retries",
+                      "rejected", "avg ms/query"});
+  for (double rate : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    for (bool breaker : {false, true}) {
+      const WorkloadTotals t = RunOne(rate, breaker);
+      table.AddRow({TablePrinter::Fmt(100.0 * rate, 0) + "%",
+                    breaker ? "on" : "off",
+                    TablePrinter::Fmt(t.CompleteHitPercent(), 0),
+                    TablePrinter::Fmt(t.DegradedPercent(), 1),
+                    std::to_string(t.chunks_unavailable),
+                    std::to_string(t.backend_retries),
+                    std::to_string(t.breaker_rejected),
+                    TablePrinter::Fmt(t.AvgQueryMs(), 2)});
+      csv.AddRow({TablePrinter::Fmt(rate, 2), breaker ? "1" : "0",
+                  TablePrinter::Fmt(t.CompleteHitPercent(), 2),
+                  TablePrinter::Fmt(t.DegradedPercent(), 2),
+                  std::to_string(t.chunks_unavailable),
+                  std::to_string(t.backend_retries),
+                  std::to_string(t.breaker_rejected),
+                  TablePrinter::Fmt(t.AvgQueryMs(), 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nreading: retries absorb moderate fault rates (hit rate and "
+      "correctness hold; latency rises with the injected delays and "
+      "backoff). As faults mount, the breaker trades a few unavailable "
+      "chunks for not hammering a dying backend: rejected calls answer "
+      "instantly from the cache as degraded-complete where the aggregate "
+      "is computable. Without the breaker the engine keeps paying timeout "
+      "and backoff latency on every miss.\n\n");
+}
+
+}  // namespace
+}  // namespace aac
+
+int main() {
+  aac::Run();
+  return 0;
+}

@@ -125,7 +125,7 @@ void InsertEvictLoop(benchmark::State& state) {
   {
     std::vector<ChunkId> ids;
     for (ChunkId c = 0; c < exp.grid().NumChunks(gb); ++c) ids.push_back(c);
-    chunks = exp.backend().ExecuteChunkQuery(gb, ids);
+    chunks = exp.backend().ExecuteChunkQuery(gb, ids).chunks;
   }
   size_t i = 0;
   for (auto _ : state) {

@@ -90,7 +90,7 @@ void Run() {
   const GroupById base = exp.lattice().base_id();
   std::vector<ChunkId> chunks;
   for (ChunkId c = 0; c < exp.grid().NumChunks(base); ++c) chunks.push_back(c);
-  for (ChunkData& data : exp.backend().ExecuteChunkQuery(base, chunks)) {
+  for (ChunkData& data : exp.backend().ExecuteChunkQuery(base, chunks).chunks) {
     const ChunkId id = data.chunk;
     exp.cache().Insert(std::move(data),
                        exp.benefit().BackendChunkBenefit(base, id),

@@ -65,7 +65,7 @@ LoadStats MeasureLoads(const char* name) {
     const GroupById gb = exp.lattice().IdOf(level);
     std::vector<ChunkId> chunks;
     for (ChunkId c = 0; c < exp.grid().NumChunks(gb); ++c) chunks.push_back(c);
-    for (ChunkData& data : exp.backend().ExecuteChunkQuery(gb, chunks)) {
+    for (ChunkData& data : exp.backend().ExecuteChunkQuery(gb, chunks).chunks) {
       const ChunkId id = data.chunk;
       exp.cache().Insert(std::move(data),
                          exp.benefit().BackendChunkBenefit(gb, id),

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     }
     QueryStats stats;
     std::vector<ChunkData> chunks =
-        exp.engine().ExecuteQuery(parsed.query, &stats);
+        exp.engine().ExecuteQuery(parsed.query, &stats).chunks;
     std::vector<ResultRow> rows =
         RefineResult(exp.schema(), parsed.query, chunks);
     // Print up to 8 rows, labeled via the catalog.

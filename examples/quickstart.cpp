@@ -31,14 +31,14 @@ int main() {
   // middle tier sends one SQL statement to the backend for all chunks.
   Query monthly = Query::WholeLevel(exp.schema(), LevelVector{4, 1, 2, 0, 0});
   QueryStats stats;
-  exp.engine().ExecuteQuery(monthly, &stats);
+  exp.engine().ExecuteQuery(monthly, &stats).chunks;
   std::printf("Q1 class x chain x month  : %lld chunks, %lld from backend "
               "(%.2f ms)\n",
               static_cast<long long>(stats.chunks_requested),
               static_cast<long long>(stats.chunks_backend), stats.TotalMs());
 
   // Query 2: the same question again — pure cache hit.
-  exp.engine().ExecuteQuery(monthly, &stats);
+  exp.engine().ExecuteQuery(monthly, &stats).chunks;
   std::printf("Q2 same query again       : %lld chunks, %lld direct hits "
               "(%.2f ms)\n",
               static_cast<long long>(stats.chunks_requested),
@@ -48,7 +48,7 @@ int main() {
   // result was never queried — but the active cache *aggregates* the cached
   // monthly chunks instead of going back to the database.
   Query yearly = Query::WholeLevel(exp.schema(), LevelVector{4, 1, 0, 0, 0});
-  std::vector<ChunkData> result = exp.engine().ExecuteQuery(yearly, &stats);
+  std::vector<ChunkData> result = exp.engine().ExecuteQuery(yearly, &stats).chunks;
   std::printf("Q3 rolled up to years     : %lld chunks, %lld by in-cache "
               "aggregation, %lld from backend (%.2f ms)\n\n",
               static_cast<long long>(stats.chunks_requested),

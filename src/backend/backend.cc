@@ -4,17 +4,32 @@
 
 namespace aac {
 
+const char* BackendStatusName(BackendStatus status) {
+  switch (status) {
+    case BackendStatus::kOk:
+      return "ok";
+    case BackendStatus::kPartial:
+      return "partial";
+    case BackendStatus::kTransientError:
+      return "transient-error";
+    case BackendStatus::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
 BackendServer::BackendServer(const FactTable* table,
                              const BackendCostModel& model, SimClock* clock)
     : table_(table), model_(model), clock_(clock), aggregator_(&table->grid()) {
   AAC_CHECK(table_ != nullptr);
 }
 
-std::vector<ChunkData> BackendServer::ExecuteChunkQuery(
+BackendResult BackendServer::ExecuteChunkQuery(
     GroupById gb, const std::vector<ChunkId>& chunks) {
   const ChunkGrid& grid = table_->grid();
   const GroupById base = table_->base_gb();
-  std::vector<ChunkData> results;
+  BackendResult result;
+  std::vector<ChunkData>& results = result.chunks;
   results.reserve(chunks.size());
   int64_t base_chunks = 0;
   int64_t tuples = 0;
@@ -35,7 +50,7 @@ std::vector<ChunkData> BackendServer::ExecuteChunkQuery(
   if (clock_ != nullptr) {
     clock_->Charge(model_.QueryCostNanos(base_chunks, tuples));
   }
-  return results;
+  return result;
 }
 
 int64_t BackendServer::EstimateMarginalChunkCostNanos(GroupById gb,

@@ -13,6 +13,65 @@
 
 namespace aac {
 
+/// Outcome of one backend round trip. The backend is remote and shared; a
+/// production middle tier must treat every call as fallible (no exceptions,
+/// per project style — errors travel in the result).
+enum class BackendStatus {
+  kOk,              // all requested chunks returned
+  kPartial,         // a (correct) subset of the requested chunks returned
+  kTransientError,  // nothing returned; retrying may succeed
+  kTimeout,         // nothing returned; the full timeout latency was paid
+};
+
+const char* BackendStatusName(BackendStatus status);
+
+/// Status-carrying result of `Backend::ExecuteChunkQuery`. On kOk, `chunks`
+/// holds one entry per requested chunk; on kPartial, a subset (each entry
+/// still exact for its chunk); on error statuses it is empty.
+struct BackendResult {
+  BackendStatus status = BackendStatus::kOk;
+  std::vector<ChunkData> chunks;
+
+  /// True when the call produced usable data (kOk or kPartial).
+  bool ok() const {
+    return status == BackendStatus::kOk || status == BackendStatus::kPartial;
+  }
+  /// True when the call produced nothing and may be retried.
+  bool failed() const { return !ok(); }
+};
+
+/// Abstract backend database interface.
+///
+/// `BackendServer` is the real (simulated-latency) implementation;
+/// `FaultInjectingBackend` decorates any Backend with deterministic fault
+/// injection. The engine, preloader and experiment harnesses program
+/// against this interface so the fault path is a pure wiring decision.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Latency model the cost-based bypass and benefit metric consult.
+  virtual const BackendCostModel& cost_model() const = 0;
+
+  /// Computes the requested chunks of group-by `gb`. Charges simulated
+  /// latency for whatever work (including failed work) was performed.
+  virtual BackendResult ExecuteChunkQuery(GroupById gb,
+                                          const std::vector<ChunkId>& chunks) = 0;
+
+  /// Simulated latency the backend would charge for computing `chunks` of
+  /// `gb`, without executing. Used by cost-based admission decisions and by
+  /// the benefit metric of the replacement policies.
+  virtual int64_t EstimateQueryCostNanos(
+      GroupById gb, const std::vector<ChunkId>& chunks) const = 0;
+
+  /// Marginal latency of adding one more chunk to an existing backend
+  /// query (scan + seeks, no per-query fixed overhead). The cost-based
+  /// bypass optimizer (paper Section 5.2) compares this against the
+  /// in-cache aggregation estimate.
+  virtual int64_t EstimateMarginalChunkCostNanos(GroupById gb,
+                                                 ChunkId chunk) const = 0;
+};
+
 /// Running totals of backend activity, for experiment reporting.
 struct BackendStats {
   int64_t queries = 0;
@@ -28,33 +87,28 @@ struct BackendStats {
 /// verifiable), and charges the latency a remote SQL round trip would have
 /// cost into the supplied SimClock. One `ExecuteChunkQuery` call corresponds
 /// to the paper's single SQL statement for all missing chunks of a query.
-class BackendServer {
+/// Always succeeds; wrap in a FaultInjectingBackend to exercise failures.
+class BackendServer : public Backend {
  public:
   /// `table` and `clock` must outlive the server. The clock may be null if
   /// simulated latency tracking is not needed.
   BackendServer(const FactTable* table, const BackendCostModel& model,
                 SimClock* clock);
 
-  const BackendCostModel& cost_model() const { return model_; }
+  const BackendCostModel& cost_model() const override { return model_; }
   const BackendStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BackendStats(); }
 
   /// Computes the requested chunks of group-by `gb` from the fact table.
-  /// Charges one query's worth of simulated latency.
-  std::vector<ChunkData> ExecuteChunkQuery(GroupById gb,
-                                           const std::vector<ChunkId>& chunks);
+  /// Charges one query's worth of simulated latency. Always kOk.
+  BackendResult ExecuteChunkQuery(GroupById gb,
+                                  const std::vector<ChunkId>& chunks) override;
 
-  /// Simulated latency the backend would charge for computing `chunks` of
-  /// `gb`, without executing. Used by cost-based admission decisions and by
-  /// the benefit metric of the replacement policies.
-  int64_t EstimateQueryCostNanos(GroupById gb,
-                                 const std::vector<ChunkId>& chunks) const;
+  int64_t EstimateQueryCostNanos(
+      GroupById gb, const std::vector<ChunkId>& chunks) const override;
 
-  /// Marginal latency of adding one more chunk to an existing backend
-  /// query (scan + seeks, no per-query fixed overhead). The cost-based
-  /// bypass optimizer (paper Section 5.2) compares this against the
-  /// in-cache aggregation estimate.
-  int64_t EstimateMarginalChunkCostNanos(GroupById gb, ChunkId chunk) const;
+  int64_t EstimateMarginalChunkCostNanos(GroupById gb,
+                                         ChunkId chunk) const override;
 
  private:
   const FactTable* table_;

@@ -30,8 +30,7 @@ GroupById Preloader::ChooseGroupBy(int64_t capacity_bytes) const {
   return best;
 }
 
-PreloadResult Preloader::Preload(ChunkCache* cache,
-                                 BackendServer* backend) const {
+PreloadResult Preloader::Preload(ChunkCache* cache, Backend* backend) const {
   AAC_CHECK(cache != nullptr);
   AAC_CHECK(backend != nullptr);
   PreloadResult result;
@@ -43,8 +42,9 @@ PreloadResult Preloader::Preload(ChunkCache* cache,
   chunks.reserve(static_cast<size_t>(grid.NumChunks(result.gb)));
   for (ChunkId c = 0; c < grid.NumChunks(result.gb); ++c) chunks.push_back(c);
 
-  std::vector<ChunkData> data = backend->ExecuteChunkQuery(result.gb, chunks);
-  for (ChunkData& chunk : data) {
+  BackendResult fetched = backend->ExecuteChunkQuery(result.gb, chunks);
+  result.backend_failed = fetched.status != BackendStatus::kOk;
+  for (ChunkData& chunk : fetched.chunks) {
     const ChunkId id = chunk.chunk;
     const int64_t tuples = chunk.tuple_count();
     if (cache->Insert(std::move(chunk),

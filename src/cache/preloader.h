@@ -15,6 +15,9 @@ struct PreloadResult {
   GroupById gb = -1;
   int64_t chunks_loaded = 0;
   int64_t tuples_loaded = 0;
+  /// True if the backend fetch failed (partially or fully); the counters
+  /// reflect what was actually loaded.
+  bool backend_failed = false;
 };
 
 /// Implements the third rule of the paper's two-level policy (Section 6.3):
@@ -33,8 +36,9 @@ class Preloader {
 
   /// Fetches every chunk of ChooseGroupBy() from the backend into the cache
   /// (as backend-sourced chunks). Returns what was loaded; gb is -1 if
-  /// nothing fit.
-  PreloadResult Preload(ChunkCache* cache, BackendServer* backend) const;
+  /// nothing fit. A failing backend loads what it returned (if anything)
+  /// and sets `backend_failed` — preload is best-effort, not fatal.
+  PreloadResult Preload(ChunkCache* cache, Backend* backend) const;
 
  private:
   const ChunkSizeModel* size_model_;

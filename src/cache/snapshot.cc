@@ -85,6 +85,19 @@ int64_t CacheSnapshot::Load(const std::string& path, int num_dims,
     std::fprintf(stderr, "snapshot: cannot open %s\n", path.c_str());
     return -1;
   }
+  // Real size of the file, so corrupt counts (a flipped bit can turn
+  // "12 cells" into billions) are rejected up front instead of driving a
+  // huge allocation or a long garbage-parsing loop.
+  std::fseek(f, 0, SEEK_END);
+  const int64_t file_bytes = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  const int64_t entry_header_bytes =
+      sizeof(int32_t) + sizeof(int64_t) + sizeof(uint8_t) + sizeof(double) +
+      sizeof(int64_t);
+  const int64_t cell_bytes =
+      static_cast<int64_t>(num_dims) * static_cast<int64_t>(sizeof(int32_t)) +
+      3 * static_cast<int64_t>(sizeof(double)) + sizeof(int64_t);
+
   char magic[4];
   uint32_t version = 0;
   uint32_t dims = 0;
@@ -95,7 +108,8 @@ int64_t CacheSnapshot::Load(const std::string& path, int num_dims,
        version == kVersion;
   ok = ok && std::fread(&dims, sizeof(dims), 1, f) == 1 &&
        static_cast<int>(dims) == num_dims;
-  ok = ok && std::fread(&entries, sizeof(entries), 1, f) == 1 && entries >= 0;
+  ok = ok && std::fread(&entries, sizeof(entries), 1, f) == 1 &&
+       entries >= 0 && entries <= file_bytes / entry_header_bytes;
   if (!ok) {
     std::fprintf(stderr, "snapshot: %s has a bad header\n", path.c_str());
     std::fclose(f);
@@ -112,7 +126,11 @@ int64_t CacheSnapshot::Load(const std::string& path, int num_dims,
     ok = ok && std::fread(&chunk, sizeof(chunk), 1, f) == 1;
     ok = ok && std::fread(&source, sizeof(source), 1, f) == 1;
     ok = ok && std::fread(&benefit, sizeof(benefit), 1, f) == 1;
-    ok = ok && std::fread(&cells, sizeof(cells), 1, f) == 1 && cells >= 0;
+    ok = ok && std::fread(&cells, sizeof(cells), 1, f) == 1;
+    // Entry-level sanity: negative ids, unknown provenance or a cell count
+    // the remaining bytes cannot possibly hold mean corruption.
+    ok = ok && gb >= 0 && chunk >= 0 && source <= 1 && cells >= 0 &&
+         cells <= (file_bytes - std::ftell(f)) / cell_bytes;
     if (!ok) break;
     ChunkData data;
     data.gb = gb;

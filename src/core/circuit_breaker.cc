@@ -1,0 +1,96 @@
+#include "core/circuit_breaker.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config,
+                               const SimClock* clock)
+    : config_(config), clock_(clock) {
+  AAC_CHECK(clock != nullptr);
+  AAC_CHECK_GE(config.failure_threshold, 1);
+  AAC_CHECK_GT(config.cooldown_ns, 0);
+  AAC_CHECK_GE(config.success_threshold, 1);
+}
+
+void CircuitBreaker::TransitionIfCooledDown() {
+  if (state_ == BreakerState::kOpen &&
+      clock_->TotalNanos() - opened_at_ns_ >= config_.cooldown_ns) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+}
+
+BreakerState CircuitBreaker::state() {
+  TransitionIfCooledDown();
+  return state_;
+}
+
+bool CircuitBreaker::AllowRequest() {
+  TransitionIfCooledDown();
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++stats_.rejected;
+      return false;
+    case BreakerState::kHalfOpen:
+      ++stats_.probes;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  TransitionIfCooledDown();
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_successes_ >= config_.success_threshold) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        ++stats_.closes;
+      }
+      break;
+    case BreakerState::kOpen:
+      // A success can't be reported while open (no request was allowed);
+      // tolerate it as a no-op for robustness.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  TransitionIfCooledDown();
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        state_ = BreakerState::kOpen;
+        opened_at_ns_ = clock_->TotalNanos();
+        ++stats_.trips;
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      state_ = BreakerState::kOpen;
+      opened_at_ns_ = clock_->TotalNanos();
+      ++stats_.reopens;
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+}  // namespace aac

@@ -1,0 +1,84 @@
+#ifndef AAC_CORE_CIRCUIT_BREAKER_H_
+#define AAC_CORE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "util/sim_clock.h"
+
+namespace aac {
+
+/// Circuit breaker state (standard closed/open/half-open automaton).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+/// Knobs for the backend circuit breaker.
+struct BreakerConfig {
+  /// Consecutive failures (in kClosed) that trip the breaker open.
+  int failure_threshold = 5;
+
+  /// Simulated nanoseconds the breaker stays open before allowing a
+  /// half-open probe.
+  int64_t cooldown_ns = 2'000'000'000;
+
+  /// Consecutive probe successes (in kHalfOpen) that close the breaker.
+  int success_threshold = 2;
+};
+
+/// Observable breaker activity, for experiment reporting and trace tests.
+struct BreakerStats {
+  int64_t trips = 0;           // closed -> open transitions
+  int64_t reopens = 0;         // half-open probe failed -> open again
+  int64_t closes = 0;          // half-open -> closed recoveries
+  int64_t probes = 0;          // requests allowed while half-open
+  int64_t rejected = 0;        // requests refused while open
+};
+
+/// Protects the backend from being hammered while it is down, and the
+/// middle tier from stalling on a dead dependency: after
+/// `failure_threshold` consecutive failures the breaker opens and backend
+/// calls are refused outright (the engine then serves cache-only, degraded
+/// answers). After `cooldown_ns` of simulated time a single probe is let
+/// through (half-open); `success_threshold` consecutive probe successes
+/// close the breaker, one probe failure reopens it.
+///
+/// Time comes from the experiment's SimClock, so breaker traces are
+/// deterministic and independent of wall-clock speed.
+class CircuitBreaker {
+ public:
+  /// `clock` must outlive the breaker.
+  CircuitBreaker(const BreakerConfig& config, const SimClock* clock);
+
+  /// Current state, after applying the open -> half-open cooldown
+  /// transition if its deadline has passed.
+  BreakerState state();
+
+  /// True if a backend call may proceed now. Counts a probe when
+  /// half-open and a rejection when open.
+  bool AllowRequest();
+
+  /// Reports a successful backend call.
+  void RecordSuccess();
+
+  /// Reports a failed backend call.
+  void RecordFailure();
+
+  const BreakerConfig& config() const { return config_; }
+  const BreakerStats& stats() const { return stats_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  void TransitionIfCooledDown();
+
+  BreakerConfig config_;
+  const SimClock* clock_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int64_t opened_at_ns_ = 0;
+  BreakerStats stats_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_CIRCUIT_BREAKER_H_

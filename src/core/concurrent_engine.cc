@@ -9,8 +9,8 @@ ConcurrentQueryEngine::ConcurrentQueryEngine(QueryEngine* engine)
   AAC_CHECK(engine != nullptr);
 }
 
-std::vector<ChunkData> ConcurrentQueryEngine::ExecuteQuery(const Query& query,
-                                                           QueryStats* stats) {
+QueryResult ConcurrentQueryEngine::ExecuteQuery(const Query& query,
+                                                QueryStats* stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++queries_executed_;
   return engine_->ExecuteQuery(query, stats);

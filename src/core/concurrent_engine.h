@@ -27,9 +27,9 @@ class ConcurrentQueryEngine {
   ConcurrentQueryEngine(const ConcurrentQueryEngine&) = delete;
   ConcurrentQueryEngine& operator=(const ConcurrentQueryEngine&) = delete;
 
-  /// Thread-safe ExecuteQuery; per-call stats are returned as with the
-  /// underlying engine.
-  std::vector<ChunkData> ExecuteQuery(const Query& query, QueryStats* stats);
+  /// Thread-safe ExecuteQuery; per-call stats and degradation status are
+  /// returned as with the underlying engine.
+  QueryResult ExecuteQuery(const Query& query, QueryStats* stats);
 
   /// Queries executed so far (thread-safe).
   int64_t queries_executed() const;

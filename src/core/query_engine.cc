@@ -1,5 +1,6 @@
 #include "core/query_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "cache/replacement.h"
@@ -8,8 +9,20 @@
 
 namespace aac {
 
+const char* ResultStatusName(ResultStatus status) {
+  switch (status) {
+    case ResultStatus::kOk:
+      return "ok";
+    case ResultStatus::kDegradedComplete:
+      return "degraded-complete";
+    case ResultStatus::kDegradedPartial:
+      return "degraded-partial";
+  }
+  return "?";
+}
+
 QueryEngine::QueryEngine(const ChunkGrid* grid, ChunkCache* cache,
-                         LookupStrategy* strategy, BackendServer* backend,
+                         LookupStrategy* strategy, Backend* backend,
                          const BenefitModel* benefit, SimClock* sim_clock,
                          Config config)
     : grid_(grid),
@@ -20,18 +33,24 @@ QueryEngine::QueryEngine(const ChunkGrid* grid, ChunkCache* cache,
       sim_clock_(sim_clock),
       config_(config),
       aggregator_(grid),
-      executor_(grid, cache, &aggregator_) {
+      executor_(grid, cache, &aggregator_),
+      retry_(config.retry) {
   AAC_CHECK(grid != nullptr);
   AAC_CHECK(cache != nullptr);
   AAC_CHECK(strategy != nullptr);
   AAC_CHECK(backend != nullptr);
   AAC_CHECK(benefit != nullptr);
   AAC_CHECK(sim_clock != nullptr);
+  if (config.circuit_breaker) {
+    breaker_ = std::make_unique<CircuitBreaker>(config.breaker, sim_clock);
+  }
 }
 
 std::string QueryEngine::ExplainQuery(const Query& query) {
   const GroupById gb = grid_->lattice().IdOf(query.level);
   const std::vector<ChunkId> chunks = ChunksForQuery(*grid_, query);
+  const bool backend_trusted =
+      breaker_ == nullptr || breaker_->state() == BreakerState::kClosed;
   std::string out = "query ";
   out += query.ToString(grid_->schema());
   out += " -> ";
@@ -40,21 +59,27 @@ std::string QueryEngine::ExplainQuery(const Query& query) {
   out += query.level.ToString();
   out += " [strategy: ";
   out += strategy_->name();
-  out += "]\n";
+  out += "]";
+  if (!backend_trusted) {
+    out += " [breaker: ";
+    out += BreakerStateName(breaker_->state());
+    out += " — cache-only]";
+  }
+  out += "\n";
   for (ChunkId chunk : chunks) {
     std::unique_ptr<PlanNode> plan = strategy_->FindPlan(gb, chunk);
     out += "  chunk ";
     out += std::to_string(chunk);
     out += ": ";
     if (plan == nullptr) {
-      out += "MISS -> backend\n";
+      out += backend_trusted ? "MISS -> backend\n" : "MISS -> UNAVAILABLE\n";
       continue;
     }
     if (plan->cached) {
       out += "direct cache hit\n";
       continue;
     }
-    if (config_.cost_based_bypass) {
+    if (config_.cost_based_bypass && backend_trusted) {
       const double cache_ns =
           plan->estimated_cost * config_.cache_aggregation_ns_per_tuple;
       const double backend_ns = static_cast<double>(
@@ -76,15 +101,81 @@ std::string QueryEngine::ExplainQuery(const Query& query) {
   return out;
 }
 
-std::vector<ChunkData> QueryEngine::ExecuteQuery(const Query& query,
+std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
+                                                 std::vector<ChunkId> pending,
+                                                 std::vector<ChunkData>* fetched,
                                                  QueryStats* stats) {
+  QueryStats& s = *stats;
+  if (breaker_ != nullptr && !breaker_->AllowRequest()) {
+    s.backend_rejected = true;
+    return pending;
+  }
+  const int64_t phase_start = sim_clock_->TotalNanos();
+  int attempts = 0;
+  while (!pending.empty()) {
+    ++attempts;
+    ++s.backend_attempts;
+    BackendResult result = backend_->ExecuteChunkQuery(gb, pending);
+    if (result.ok()) {
+      if (breaker_ != nullptr) breaker_->RecordSuccess();
+      for (ChunkData& data : result.chunks) {
+        auto it = std::find(pending.begin(), pending.end(), data.chunk);
+        AAC_CHECK(it != pending.end());
+        pending.erase(it);
+        fetched->push_back(std::move(data));
+      }
+      if (pending.empty()) break;
+      // Partial result: the backend responded, so re-ask for the remainder
+      // immediately — no backoff, but still under the attempt/deadline caps.
+      if (!retry_.AllowRetry(attempts,
+                             sim_clock_->TotalNanos() - phase_start)) {
+        s.backend_exhausted = true;
+        break;
+      }
+      continue;
+    }
+    if (breaker_ != nullptr) {
+      breaker_->RecordFailure();
+      if (breaker_->state() == BreakerState::kOpen) {
+        // Tripped (or a half-open probe failed): stop hammering the
+        // backend; the query degrades now, later queries serve cache-only
+        // until the cooldown elapses.
+        s.backend_exhausted = true;
+        break;
+      }
+    }
+    if (!retry_.AllowRetry(attempts, sim_clock_->TotalNanos() - phase_start)) {
+      s.backend_exhausted = true;
+      break;
+    }
+    const int64_t backoff = retry_.BackoffNanos(attempts);
+    const int64_t spent = sim_clock_->TotalNanos() - phase_start;
+    if (retry_.config().deadline_ns > 0 &&
+        spent + backoff > retry_.config().deadline_ns) {
+      s.backend_exhausted = true;
+      break;
+    }
+    sim_clock_->Charge(backoff);
+  }
+  s.backend_retries += attempts > 0 ? attempts - 1 : 0;
+  return pending;
+}
+
+QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
   QueryStats local;
   QueryStats& s = stats != nullptr ? *stats : local;
   s = QueryStats();
+  QueryResult result;
 
   const GroupById gb = grid_->lattice().IdOf(query.level);
   const std::vector<ChunkId> chunks = ChunksForQuery(*grid_, query);
   s.chunks_requested = static_cast<int64_t>(chunks.size());
+
+  // Degraded mode: with the breaker not closed, the backend is presumed
+  // unreachable — every cache-computable chunk must be answered from the
+  // cache, so the cost-based bypass (moot without a backend) is suspended.
+  const bool backend_trusted =
+      breaker_ == nullptr || breaker_->state() == BreakerState::kClosed;
 
   // --- Lookup phase: probe the strategy for every chunk. ---
   Stopwatch lookup_timer;
@@ -104,7 +195,7 @@ std::vector<ChunkData> QueryEngine::ExecuteQuery(const Query& query,
   // estimated aggregation time exceeds the backend's marginal cost joins
   // the backend query instead. The per-query fixed overhead is charged to
   // the first bypassed chunk only when no chunk is missing anyway.
-  if (config_.cost_based_bypass) {
+  if (config_.cost_based_bypass && backend_trusted) {
     std::vector<std::unique_ptr<PlanNode>> kept;
     kept.reserve(plans.size());
     for (auto& plan : plans) {
@@ -133,7 +224,7 @@ std::vector<ChunkData> QueryEngine::ExecuteQuery(const Query& query,
 
   // --- Aggregation phase: answer cached/computable chunks. ---
   Stopwatch agg_timer;
-  std::vector<ChunkData> results;
+  std::vector<ChunkData>& results = result.chunks;
   results.reserve(chunks.size());
   // (benefit, cached-group) per aggregated chunk, consumed by the update
   // phase and the group-boost rule.
@@ -160,16 +251,20 @@ std::vector<ChunkData> QueryEngine::ExecuteQuery(const Query& query,
   }
   s.aggregation_ms = agg_timer.ElapsedMillis();
 
-  // --- Backend phase: one SQL query for all missing chunks. ---
+  // --- Backend phase: one SQL query for all missing chunks, retried with
+  // backoff on failure; what cannot be fetched degrades instead of
+  // aborting. ---
   std::vector<ChunkData> backend_results;
+  s.complete_hit = missing.empty();
   if (!missing.empty()) {
     const int64_t sim_before = sim_clock_->TotalNanos();
-    backend_results = backend_->ExecuteChunkQuery(gb, missing);
+    result.unavailable =
+        FetchWithRetry(gb, std::move(missing), &backend_results, &s);
     s.backend_ms =
         static_cast<double>(sim_clock_->TotalNanos() - sim_before) / 1e6;
     s.chunks_backend = static_cast<int64_t>(backend_results.size());
   }
-  s.complete_hit = missing.empty();
+  s.chunks_unavailable = static_cast<int64_t>(result.unavailable.size());
 
   // --- Update phase: admit new chunks to the cache. ---
   Stopwatch update_timer;
@@ -196,7 +291,16 @@ std::vector<ChunkData> QueryEngine::ExecuteQuery(const Query& query,
   s.update_ms = update_timer.ElapsedMillis();
 
   for (ChunkData& data : backend_results) results.push_back(std::move(data));
-  return results;
+
+  if (!result.unavailable.empty()) {
+    s.status = ResultStatus::kDegradedPartial;
+  } else if (s.backend_rejected || s.backend_exhausted || !backend_trusted) {
+    s.status = ResultStatus::kDegradedComplete;
+  } else {
+    s.status = ResultStatus::kOk;
+  }
+  result.status = s.status;
+  return result;
 }
 
 }  // namespace aac

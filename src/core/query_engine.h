@@ -2,17 +2,33 @@
 #define AAC_CORE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "backend/backend.h"
 #include "cache/benefit.h"
 #include "cache/chunk_cache.h"
+#include "core/circuit_breaker.h"
 #include "core/executor.h"
 #include "core/query.h"
+#include "core/retry_policy.h"
 #include "core/strategy.h"
 #include "util/sim_clock.h"
 
 namespace aac {
+
+/// How completely a query was answered.
+enum class ResultStatus {
+  /// Every requested chunk answered with a healthy backend path.
+  kOk,
+  /// Every requested chunk answered, but the backend was unreachable
+  /// (breaker open or retries exhausted) — the cache carried the query.
+  kDegradedComplete,
+  /// Some chunks could not be answered; see QueryResult::unavailable.
+  kDegradedPartial,
+};
+
+const char* ResultStatusName(ResultStatus status);
 
 /// Per-query timing and outcome breakdown (the paper's Figure 10 splits
 /// complete-hit query time into lookup, aggregation and update).
@@ -22,12 +38,20 @@ struct QueryStats {
   int64_t chunks_aggregated = 0;  // computed by in-cache aggregation
   int64_t chunks_backend = 0;     // fetched from the backend
   int64_t chunks_bypassed = 0;    // computable, but backend was cheaper
+  int64_t chunks_unavailable = 0; // backend down and not cache-computable
 
   int64_t tuples_aggregated = 0;  // in-cache aggregation work
 
+  // Fault-path accounting.
+  int64_t backend_attempts = 0;   // backend calls issued for this query
+  int64_t backend_retries = 0;    // attempts beyond the first
+  bool backend_rejected = false;  // breaker open: backend never contacted
+  bool backend_exhausted = false; // retries/deadline exhausted mid-query
+  ResultStatus status = ResultStatus::kOk;
+
   double lookup_ms = 0.0;       // strategy probe + plan construction
   double aggregation_ms = 0.0;  // plan execution (incl. direct reads)
-  double backend_ms = 0.0;      // simulated backend latency
+  double backend_ms = 0.0;      // simulated backend latency (incl. backoff)
   double update_ms = 0.0;       // cache inserts (incl. count/cost upkeep)
 
   /// Completely answered from the cache (directly or by aggregation) —
@@ -41,6 +65,19 @@ struct QueryStats {
   }
 };
 
+/// Status-carrying answer to one query: the answered chunks (chunk-aligned
+/// superset of the query ranges) plus the ids of requested chunks the
+/// engine could not answer because the backend was unreachable and the
+/// cache could not compute them. A healthy backend path never leaves
+/// chunks unavailable.
+struct QueryResult {
+  ResultStatus status = ResultStatus::kOk;
+  std::vector<ChunkData> chunks;
+  std::vector<ChunkId> unavailable;
+
+  bool complete() const { return unavailable.empty(); }
+};
+
 /// The middle tier: answers chunked multi-dimensional queries from an
 /// aggregate-aware cache, falling back to the backend for missing chunks.
 ///
@@ -49,6 +86,13 @@ struct QueryStats {
 /// aggregation; fetch all missing chunks with a single backend query; then
 /// insert the newly obtained chunks into the cache under the configured
 /// policy rules.
+///
+/// The backend is treated as fallible: failed calls are retried under
+/// `Config::retry`, repeated failures trip the optional circuit breaker,
+/// and when the backend is unreachable the engine degrades gracefully —
+/// cache-computable chunks are still answered (the bypass optimizer is
+/// suspended, since there is no backend to bypass to) and the rest are
+/// reported per-chunk in QueryResult::unavailable instead of aborting.
 class QueryEngine {
  public:
   struct Config {
@@ -73,17 +117,28 @@ class QueryEngine {
     /// Middle-tier aggregation throughput assumed by the bypass decision
     /// (converts plan costs in tuples to nanoseconds).
     double cache_aggregation_ns_per_tuple = 50.0;
+
+    /// Retry/backoff schedule for failed backend calls. The default
+    /// retries transient faults a few times; max_attempts = 1 disables
+    /// retries entirely. Irrelevant while the backend never fails.
+    RetryConfig retry;
+
+    /// Trip a circuit breaker on consecutive backend failures and serve
+    /// cache-only answers while it is open.
+    bool circuit_breaker = false;
+    BreakerConfig breaker;
   };
 
   /// All pointers must outlive the engine. `sim_clock` must be the clock the
-  /// backend charges into (used to attribute simulated backend latency).
+  /// backend charges into (used to attribute simulated backend latency and
+  /// to time retry backoff and the breaker cooldown).
   QueryEngine(const ChunkGrid* grid, ChunkCache* cache,
-              LookupStrategy* strategy, BackendServer* backend,
+              LookupStrategy* strategy, Backend* backend,
               const BenefitModel* benefit, SimClock* sim_clock, Config config);
 
-  /// Answers `query`; the result holds one ChunkData per requested chunk
-  /// (chunk-aligned superset of the query ranges). `stats` may be null.
-  std::vector<ChunkData> ExecuteQuery(const Query& query, QueryStats* stats);
+  /// Answers `query`. Never aborts on backend failure: the result's status
+  /// and `unavailable` list describe any degradation. `stats` may be null.
+  QueryResult ExecuteQuery(const Query& query, QueryStats* stats);
 
   /// EXPLAIN: describes how `query` *would* be answered right now — per
   /// chunk, the route (direct hit / aggregation / backend / bypass) and
@@ -94,16 +149,29 @@ class QueryEngine {
   LookupStrategy* strategy() { return strategy_; }
   const Config& config() const { return config_; }
 
+  /// The engine's breaker, or nullptr when Config::circuit_breaker is off.
+  CircuitBreaker* circuit_breaker() { return breaker_.get(); }
+
  private:
+  /// Fetches `missing` chunks with retry/backoff under the breaker.
+  /// Successfully fetched chunks are appended to `fetched`; chunk ids that
+  /// could not be fetched remain in the returned vector.
+  std::vector<ChunkId> FetchWithRetry(GroupById gb,
+                                      std::vector<ChunkId> missing,
+                                      std::vector<ChunkData>* fetched,
+                                      QueryStats* s);
+
   const ChunkGrid* grid_;
   ChunkCache* cache_;
   LookupStrategy* strategy_;
-  BackendServer* backend_;
+  Backend* backend_;
   const BenefitModel* benefit_;
   SimClock* sim_clock_;
   Config config_;
   Aggregator aggregator_;
   PlanExecutor executor_;
+  RetryPolicy retry_;
+  std::unique_ptr<CircuitBreaker> breaker_;
 };
 
 }  // namespace aac

@@ -1,0 +1,37 @@
+#include "core/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aac {
+
+RetryPolicy::RetryPolicy(const RetryConfig& config)
+    : config_(config), rng_(config.seed) {
+  AAC_CHECK_GE(config.max_attempts, 1);
+  AAC_CHECK_GE(config.initial_backoff_ns, 0);
+  AAC_CHECK_GE(config.multiplier, 1.0);
+  AAC_CHECK_GE(config.jitter, 0.0);
+  AAC_CHECK_LE(config.jitter, 1.0);
+}
+
+int64_t RetryPolicy::BackoffNanos(int retry_number) {
+  AAC_CHECK_GE(retry_number, 1);
+  double base = static_cast<double>(config_.initial_backoff_ns) *
+                std::pow(config_.multiplier, retry_number - 1);
+  base = std::min(base, static_cast<double>(config_.max_backoff_ns));
+  // Jitter decorrelates retry storms across clients; the seeded stream
+  // keeps one client's schedule reproducible.
+  const double factor =
+      1.0 + config_.jitter * (2.0 * rng_.UniformDouble() - 1.0);
+  return static_cast<int64_t>(base * factor);
+}
+
+bool RetryPolicy::AllowRetry(int attempts_made, int64_t spent_ns) const {
+  if (attempts_made >= config_.max_attempts) return false;
+  if (config_.deadline_ns > 0 && spent_ns >= config_.deadline_ns) return false;
+  return true;
+}
+
+}  // namespace aac

@@ -1,0 +1,56 @@
+#ifndef AAC_CORE_RETRY_POLICY_H_
+#define AAC_CORE_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace aac {
+
+/// Knobs for retrying failed backend calls: capped exponential backoff with
+/// seeded jitter, bounded by an attempt count and a per-query deadline.
+struct RetryConfig {
+  /// Total backend attempts per query, including the first. 1 = no retries.
+  int max_attempts = 4;
+
+  /// Backoff before retry k (1-based) is
+  /// min(initial_backoff_ns * multiplier^(k-1), max_backoff_ns),
+  /// scaled by a jitter factor drawn uniformly from [1-jitter, 1+jitter].
+  int64_t initial_backoff_ns = 1'000'000;
+  double multiplier = 2.0;
+  int64_t max_backoff_ns = 64'000'000;
+  double jitter = 0.2;
+
+  /// Per-query budget for the whole backend phase (attempt latency plus
+  /// backoff, simulated nanoseconds). Once spent, the engine stops retrying
+  /// and degrades instead of stalling the client. <= 0 disables the budget.
+  int64_t deadline_ns = 500'000'000;
+
+  uint64_t seed = 1;
+};
+
+/// Deterministic backoff schedule. The jitter stream is seeded, so two runs
+/// with the same seed and the same failure sequence back off identically —
+/// experiments with faults stay reproducible.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryConfig& config);
+
+  const RetryConfig& config() const { return config_; }
+
+  /// Backoff to charge before retry `retry_number` (1-based: the wait
+  /// before the second attempt is retry 1). Capped exponential with jitter.
+  int64_t BackoffNanos(int retry_number);
+
+  /// True if another attempt is allowed after `attempts_made` attempts
+  /// with `spent_ns` of the deadline budget already consumed.
+  bool AllowRetry(int attempts_made, int64_t spent_ns) const;
+
+ private:
+  RetryConfig config_;
+  Rng rng_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_RETRY_POLICY_H_

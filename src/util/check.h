@@ -41,13 +41,19 @@
   do {                   \
   } while (0)
 #define AAC_DCHECK_EQ(a, b) AAC_DCHECK((a) == (b))
+#define AAC_DCHECK_NE(a, b) AAC_DCHECK((a) != (b))
 #define AAC_DCHECK_LT(a, b) AAC_DCHECK((a) < (b))
 #define AAC_DCHECK_LE(a, b) AAC_DCHECK((a) <= (b))
+#define AAC_DCHECK_GT(a, b) AAC_DCHECK((a) > (b))
+#define AAC_DCHECK_GE(a, b) AAC_DCHECK((a) >= (b))
 #else
 #define AAC_DCHECK(cond) AAC_CHECK(cond)
 #define AAC_DCHECK_EQ(a, b) AAC_CHECK_EQ(a, b)
+#define AAC_DCHECK_NE(a, b) AAC_CHECK_NE(a, b)
 #define AAC_DCHECK_LT(a, b) AAC_CHECK_LT(a, b)
 #define AAC_DCHECK_LE(a, b) AAC_CHECK_LE(a, b)
+#define AAC_DCHECK_GT(a, b) AAC_CHECK_GT(a, b)
+#define AAC_DCHECK_GE(a, b) AAC_CHECK_GE(a, b)
 #endif
 
 #endif  // AAC_UTIL_CHECK_H_

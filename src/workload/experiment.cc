@@ -84,6 +84,10 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   clock_ = std::make_unique<SimClock>();
   backend_ = std::make_unique<BackendServer>(table_.get(), cost_model,
                                              clock_.get());
+  if (config.faults.any()) {
+    fault_injector_ = std::make_unique<FaultInjectingBackend>(
+        backend_.get(), config.faults, clock_.get());
+  }
 
   switch (config.policy) {
     case PolicyKind::kTwoLevel:
@@ -131,8 +135,11 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   if (strategy_->listener() != nullptr) {
     cache_->AddListener(strategy_->listener());
   }
+  Backend* engine_backend = fault_injector_ != nullptr
+                                ? static_cast<Backend*>(fault_injector_.get())
+                                : static_cast<Backend*>(backend_.get());
   engine_ = std::make_unique<QueryEngine>(&cube_->grid(), cache_.get(),
-                                          strategy_.get(), backend_.get(),
+                                          strategy_.get(), engine_backend,
                                           benefit_.get(), clock_.get(),
                                           config.engine);
   if (config.preload) Preload();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "backend/backend.h"
+#include "backend/fault_injector.h"
 #include "cache/benefit.h"
 #include "cache/chunk_cache.h"
 #include "cache/preloader.h"
@@ -58,6 +59,12 @@ struct ExperimentConfig {
   PolicyKind policy = PolicyKind::kTwoLevel;
   QueryEngine::Config engine;
 
+  /// Backend fault injection (all-zero rates = healthy backend; any
+  /// non-zero rate interposes a FaultInjectingBackend between the engine
+  /// and the real server). Preload always runs against the real server —
+  /// it models a warm start, not a degraded one.
+  FaultConfig faults;
+
   /// Run the two-level policy's preload rule (group-by with most
   /// descendants that fits) before the workload.
   bool preload = false;
@@ -85,7 +92,21 @@ class Experiment {
   FactTable* mutable_table() { return table_.get(); }
   const ChunkSizeModel& size_model() const { return *size_model_; }
   const BenefitModel& benefit() const { return *benefit_; }
+
+  /// The real (always-healthy) backend server — ground truth for tests
+  /// and benches even when the engine's path injects faults.
   BackendServer& backend() { return *backend_; }
+
+  /// The backend the engine talks to: the fault injector when faults are
+  /// configured, otherwise the real server.
+  Backend& engine_backend() {
+    return fault_injector_ != nullptr
+               ? static_cast<Backend&>(*fault_injector_)
+               : static_cast<Backend&>(*backend_);
+  }
+
+  /// The fault injector, or nullptr when no faults are configured.
+  FaultInjectingBackend* fault_injector() { return fault_injector_.get(); }
   ChunkCache& cache() { return *cache_; }
   LookupStrategy& strategy() { return *strategy_; }
   QueryEngine& engine() { return *engine_; }
@@ -105,6 +126,7 @@ class Experiment {
   std::unique_ptr<BenefitModel> benefit_;
   std::unique_ptr<SimClock> clock_;
   std::unique_ptr<BackendServer> backend_;
+  std::unique_ptr<FaultInjectingBackend> fault_injector_;
   std::unique_ptr<ReplacementPolicy> policy_;
   std::unique_ptr<ChunkCache> cache_;
   std::unique_ptr<LookupStrategy> strategy_;

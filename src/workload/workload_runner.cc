@@ -15,6 +15,14 @@ WorkloadTotals RunWorkload(QueryEngine& engine,
     totals.chunks_direct += stats.chunks_direct;
     totals.chunks_aggregated += stats.chunks_aggregated;
     totals.chunks_backend += stats.chunks_backend;
+    totals.chunks_unavailable += stats.chunks_unavailable;
+    totals.degraded_complete +=
+        stats.status == ResultStatus::kDegradedComplete ? 1 : 0;
+    totals.degraded_partial +=
+        stats.status == ResultStatus::kDegradedPartial ? 1 : 0;
+    totals.backend_attempts += stats.backend_attempts;
+    totals.backend_retries += stats.backend_retries;
+    totals.breaker_rejected += stats.backend_rejected ? 1 : 0;
     totals.lookup_ms += stats.lookup_ms;
     totals.aggregation_ms += stats.aggregation_ms;
     totals.backend_ms += stats.backend_ms;

@@ -19,6 +19,14 @@ struct WorkloadTotals {
   int64_t chunks_direct = 0;
   int64_t chunks_aggregated = 0;
   int64_t chunks_backend = 0;
+  int64_t chunks_unavailable = 0;
+
+  // Fault-path outcomes (all zero against a healthy backend).
+  int64_t degraded_complete = 0;  // fully answered while backend was down
+  int64_t degraded_partial = 0;   // some chunks unavailable
+  int64_t backend_attempts = 0;
+  int64_t backend_retries = 0;
+  int64_t breaker_rejected = 0;   // queries that never reached the backend
 
   double lookup_ms = 0.0;
   double aggregation_ms = 0.0;
@@ -40,6 +48,14 @@ struct WorkloadTotals {
   double CompleteHitPercent() const {
     return queries == 0 ? 0.0
                         : 100.0 * static_cast<double>(complete_hits) /
+                              static_cast<double>(queries);
+  }
+  /// Fraction of queries answered in degraded mode (complete or partial).
+  double DegradedPercent() const {
+    return queries == 0 ? 0.0
+                        : 100.0 *
+                              static_cast<double>(degraded_complete +
+                                                  degraded_partial) /
                               static_cast<double>(queries);
   }
   double AvgHitMs() const {

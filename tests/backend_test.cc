@@ -29,7 +29,7 @@ class BackendTest : public ::testing::Test {
 TEST_F(BackendTest, ReturnsRequestedChunks) {
   const GroupById gb = cube_.lattice->IdOf(LevelVector{1, 0});
   std::vector<ChunkId> wanted{0, 1};
-  std::vector<ChunkData> got = backend_->ExecuteChunkQuery(gb, wanted);
+  std::vector<ChunkData> got = backend_->ExecuteChunkQuery(gb, wanted).chunks;
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].gb, gb);
   EXPECT_EQ(got[0].chunk, 0);
@@ -42,7 +42,7 @@ TEST_F(BackendTest, ResultsMatchDirectAggregation) {
   for (GroupById gb = 0; gb < lat.num_groupbys(); ++gb) {
     std::vector<ChunkId> all;
     for (ChunkId c = 0; c < cube_.grid->NumChunks(gb); ++c) all.push_back(c);
-    std::vector<ChunkData> got = backend_->ExecuteChunkQuery(gb, all);
+    std::vector<ChunkData> got = backend_->ExecuteChunkQuery(gb, all).chunks;
     for (auto& chunk : got) {
       std::vector<std::span<const Cell>> spans;
       for (ChunkId bc :
@@ -59,7 +59,7 @@ TEST_F(BackendTest, ResultsMatchDirectAggregation) {
 TEST_F(BackendTest, ChargesSimulatedLatency) {
   const GroupById top = cube_.lattice->top_id();
   EXPECT_EQ(clock_.TotalNanos(), 0);
-  backend_->ExecuteChunkQuery(top, {0});
+  backend_->ExecuteChunkQuery(top, {0}).chunks;
   const BackendCostModel& m = backend_->cost_model();
   const int64_t expected = m.QueryCostNanos(backend_->stats().base_chunks_scanned,
                                             backend_->stats().tuples_scanned);
@@ -68,8 +68,8 @@ TEST_F(BackendTest, ChargesSimulatedLatency) {
 
 TEST_F(BackendTest, StatsAccumulate) {
   const GroupById top = cube_.lattice->top_id();
-  backend_->ExecuteChunkQuery(top, {0});
-  backend_->ExecuteChunkQuery(top, {0});
+  backend_->ExecuteChunkQuery(top, {0}).chunks;
+  backend_->ExecuteChunkQuery(top, {0}).chunks;
   EXPECT_EQ(backend_->stats().queries, 2);
   EXPECT_EQ(backend_->stats().chunks_returned, 2);
   EXPECT_EQ(backend_->stats().tuples_scanned,
@@ -83,14 +83,14 @@ TEST_F(BackendTest, EstimateMatchesActualCharge) {
   std::vector<ChunkId> chunks{0, 1};
   const int64_t estimate = backend_->EstimateQueryCostNanos(gb, chunks);
   clock_.Reset();
-  backend_->ExecuteChunkQuery(gb, chunks);
+  backend_->ExecuteChunkQuery(gb, chunks).chunks;
   EXPECT_EQ(clock_.TotalNanos(), estimate);
 }
 
 TEST_F(BackendTest, NullClockIsAllowed) {
   BackendServer backend(table_.get(), BackendCostModel(), nullptr);
   std::vector<ChunkData> got =
-      backend.ExecuteChunkQuery(cube_.lattice->top_id(), {0});
+      backend.ExecuteChunkQuery(cube_.lattice->top_id(), {0}).chunks;
   EXPECT_EQ(got.size(), 1u);
 }
 
@@ -101,7 +101,7 @@ TEST_F(BackendTest, EmptyChunkStillReturned) {
   FactTable empty_table(cube.grid.get(), {});
   BackendServer backend(&empty_table, BackendCostModel(), nullptr);
   std::vector<ChunkData> got =
-      backend.ExecuteChunkQuery(cube.lattice->base_id(), {0, 1});
+      backend.ExecuteChunkQuery(cube.lattice->base_id(), {0, 1}).chunks;
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].tuple_count(), 0);
 }

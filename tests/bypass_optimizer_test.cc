@@ -56,14 +56,14 @@ TEST_F(BypassTest, AbsurdlySlowCacheBypassesEverything) {
   Setup(config);
   Query q = Query::WholeLevel(env_.schema(), LevelVector{0, 0});
   QueryStats stats;
-  std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats);
+  std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats).chunks;
   EXPECT_GT(stats.chunks_bypassed, 0);
   EXPECT_EQ(stats.chunks_aggregated, 0);
   EXPECT_EQ(stats.chunks_backend, stats.chunks_bypassed);
   // Answers stay correct.
   BackendServer oracle(env_.table.get(), BackendCostModel(), nullptr);
   std::vector<ChunkData> want = oracle.ExecuteChunkQuery(
-      env_.lattice().IdOf(q.level), ChunksForQuery(env_.grid(), q));
+      env_.lattice().IdOf(q.level), ChunksForQuery(env_.grid(), q)).chunks;
   ASSERT_EQ(result.size(), want.size());
   EXPECT_TRUE(
       ChunkDataEquals(env_.schema().num_dims(), &result[0], &want[0]));
@@ -109,11 +109,11 @@ TEST_F(BypassTest, RandomStreamStaysCorrectWithBypass) {
         rng.Uniform(env_.lattice().num_groupbys()));
     Query q = Query::WholeLevel(env_.schema(), env_.lattice().LevelOf(gb));
     QueryStats stats;
-    std::vector<ChunkData> got = engine_->ExecuteQuery(q, &stats);
+    std::vector<ChunkData> got = engine_->ExecuteQuery(q, &stats).chunks;
     bypassed += stats.chunks_bypassed;
     aggregated += stats.chunks_aggregated;
     std::vector<ChunkData> want =
-        oracle.ExecuteChunkQuery(gb, ChunksForQuery(env_.grid(), q));
+        oracle.ExecuteChunkQuery(gb, ChunksForQuery(env_.grid(), q)).chunks;
     ASSERT_EQ(got.size(), want.size());
     auto by_chunk = [](const ChunkData& a, const ChunkData& b) {
       return a.chunk < b.chunk;

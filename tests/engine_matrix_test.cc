@@ -40,10 +40,10 @@ TEST_P(EngineMatrixTest, AnswersMatchGroundTruth) {
   QueryStreamGenerator gen(&exp.schema(), stream_config);
   for (const QueryStreamEntry& entry : gen.Generate()) {
     std::vector<ChunkData> got =
-        exp.engine().ExecuteQuery(entry.query, nullptr);
+        exp.engine().ExecuteQuery(entry.query, nullptr).chunks;
     const GroupById gb = exp.lattice().IdOf(entry.query.level);
     std::vector<ChunkData> want = oracle.ExecuteChunkQuery(
-        gb, ChunksForQuery(exp.grid(), entry.query));
+        gb, ChunksForQuery(exp.grid(), entry.query)).chunks;
     ASSERT_EQ(got.size(), want.size());
     auto by_chunk = [](const ChunkData& a, const ChunkData& b) {
       return a.chunk < b.chunk;
@@ -94,10 +94,10 @@ TEST(EngineScale, ScaleTwoCubeAnswersCorrectly) {
   QueryStreamGenerator gen(&exp.schema(), stream_config);
   for (const QueryStreamEntry& entry : gen.Generate()) {
     std::vector<ChunkData> got =
-        exp.engine().ExecuteQuery(entry.query, nullptr);
+        exp.engine().ExecuteQuery(entry.query, nullptr).chunks;
     const GroupById gb = exp.lattice().IdOf(entry.query.level);
     std::vector<ChunkData> want = oracle.ExecuteChunkQuery(
-        gb, ChunksForQuery(exp.grid(), entry.query));
+        gb, ChunksForQuery(exp.grid(), entry.query)).chunks;
     ASSERT_EQ(got.size(), want.size());
     auto by_chunk = [](const ChunkData& a, const ChunkData& b) {
       return a.chunk < b.chunk;

@@ -23,7 +23,7 @@ class ExecutorTest : public ::testing::Test {
   }
 
   ChunkData Oracle(GroupById gb, ChunkId chunk) {
-    return env_.backend->ExecuteChunkQuery(gb, {chunk})[0];
+    return env_.backend->ExecuteChunkQuery(gb, {chunk}).chunks[0];
   }
 
   TestEnv env_;

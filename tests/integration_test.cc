@@ -29,10 +29,10 @@ TEST_P(IntegrationTest, ApbStreamAnswersMatchGroundTruth) {
   stream_config.seed = 17;
   QueryStreamGenerator gen(&exp.schema(), stream_config);
   for (const QueryStreamEntry& entry : gen.Generate()) {
-    std::vector<ChunkData> got = exp.engine().ExecuteQuery(entry.query, nullptr);
+    std::vector<ChunkData> got = exp.engine().ExecuteQuery(entry.query, nullptr).chunks;
     const GroupById gb = exp.lattice().IdOf(entry.query.level);
     std::vector<ChunkData> want = ground_truth.ExecuteChunkQuery(
-        gb, ChunksForQuery(exp.grid(), entry.query));
+        gb, ChunksForQuery(exp.grid(), entry.query)).chunks;
     ASSERT_EQ(got.size(), want.size());
     auto by_chunk = [](const ChunkData& a, const ChunkData& b) {
       return a.chunk < b.chunk;

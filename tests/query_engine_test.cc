@@ -31,7 +31,7 @@ class QueryEngineTest : public ::testing::Test {
   std::vector<ChunkData> Oracle(const Query& q) {
     BackendServer oracle(env_.table.get(), BackendCostModel(), nullptr);
     const GroupById gb = env_.lattice().IdOf(q.level);
-    return oracle.ExecuteChunkQuery(gb, ChunksForQuery(env_.grid(), q));
+    return oracle.ExecuteChunkQuery(gb, ChunksForQuery(env_.grid(), q)).chunks;
   }
 
   void ExpectMatchesOracle(std::vector<ChunkData> got, const Query& q) {
@@ -58,7 +58,7 @@ class QueryEngineTest : public ::testing::Test {
 TEST_F(QueryEngineTest, ColdQueryGoesToBackend) {
   Query q = Query::WholeLevel(env_.schema(), LevelVector{1, 1});
   QueryStats stats;
-  std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats);
+  std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats).chunks;
   EXPECT_FALSE(stats.complete_hit);
   EXPECT_EQ(stats.chunks_backend, stats.chunks_requested);
   EXPECT_GT(stats.backend_ms, 0.0);
@@ -69,7 +69,7 @@ TEST_F(QueryEngineTest, RepeatQueryIsDirectHit) {
   Query q = Query::WholeLevel(env_.schema(), LevelVector{1, 1});
   engine_->ExecuteQuery(q, nullptr);
   QueryStats stats;
-  std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats);
+  std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats).chunks;
   EXPECT_TRUE(stats.complete_hit);
   EXPECT_EQ(stats.chunks_direct, stats.chunks_requested);
   EXPECT_EQ(stats.chunks_backend, 0);
@@ -86,7 +86,7 @@ TEST_F(QueryEngineTest, RollUpAnsweredByAggregation) {
 
   Query roll_up = Query::WholeLevel(env_.schema(), LevelVector{0, 1});
   QueryStats stats;
-  std::vector<ChunkData> result = engine_->ExecuteQuery(roll_up, &stats);
+  std::vector<ChunkData> result = engine_->ExecuteQuery(roll_up, &stats).chunks;
   EXPECT_TRUE(stats.complete_hit);
   EXPECT_EQ(stats.chunks_aggregated, stats.chunks_requested);
   EXPECT_EQ(env_.backend->stats().queries, 0);
@@ -132,7 +132,7 @@ TEST_F(QueryEngineTest, PartialHitFetchesOnlyMissing) {
 
   Query whole = Query::WholeLevel(env_.schema(), env_.schema().base_level());
   QueryStats stats;
-  std::vector<ChunkData> result = engine_->ExecuteQuery(whole, &stats);
+  std::vector<ChunkData> result = engine_->ExecuteQuery(whole, &stats).chunks;
   EXPECT_FALSE(stats.complete_hit);
   EXPECT_EQ(stats.chunks_direct, 4);
   EXPECT_EQ(stats.chunks_backend, 4);
@@ -153,7 +153,7 @@ TEST_F(QueryEngineTest, MixedAggregationAndBackend) {
   // by the cached base chunks; other product chunks must hit the backend.
   Query agg = Query::WholeLevel(env_.schema(), LevelVector{2, 0});
   QueryStats stats;
-  std::vector<ChunkData> result = engine_->ExecuteQuery(agg, &stats);
+  std::vector<ChunkData> result = engine_->ExecuteQuery(agg, &stats).chunks;
   EXPECT_FALSE(stats.complete_hit);
   EXPECT_GT(stats.chunks_aggregated, 0);
   EXPECT_GT(stats.chunks_backend, 0);
@@ -195,7 +195,7 @@ TEST_F(QueryEngineTest, ZeroCapacityCacheDegradesToPureBackend) {
   for (int round = 0; round < 2; ++round) {
     Query q = Query::WholeLevel(env_.schema(), LevelVector{1, 1});
     QueryStats stats;
-    std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats);
+    std::vector<ChunkData> result = engine_->ExecuteQuery(q, &stats).chunks;
     EXPECT_FALSE(stats.complete_hit);
     EXPECT_EQ(stats.chunks_backend, stats.chunks_requested);
     ExpectMatchesOracle(std::move(result), q);
@@ -244,7 +244,7 @@ TEST_F(QueryEngineTest, SmallCacheStillAnswersCorrectly) {
   Reset(MakeSmallCube(), /*capacity=*/80);
   for (GroupById gb = 0; gb < env_.lattice().num_groupbys(); ++gb) {
     Query q = Query::WholeLevel(env_.schema(), env_.lattice().LevelOf(gb));
-    ExpectMatchesOracle(engine_->ExecuteQuery(q, nullptr), q);
+    ExpectMatchesOracle(engine_->ExecuteQuery(q, nullptr).chunks, q);
   }
 }
 

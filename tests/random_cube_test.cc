@@ -153,7 +153,7 @@ TEST_P(RandomCubeTest, AggregationMatchesOracleEverywhere) {
       auto plan = vcm.FindPlan(gb, c);
       ASSERT_NE(plan, nullptr);
       ExecutionResult got = executor.Execute(*plan);
-      ChunkData want = oracle.ExecuteChunkQuery(gb, {c})[0];
+      ChunkData want = oracle.ExecuteChunkQuery(gb, {c}).chunks[0];
       ASSERT_TRUE(
           ChunkDataEquals(env.schema().num_dims(), &got.data, &want));
     }

@@ -114,6 +114,68 @@ TEST_F(SnapshotTest, RejectsGarbageFile) {
   EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), -1);
 }
 
+// Overwrites `len` bytes at `offset` of the file with `bytes`.
+void PatchFile(const std::string& path, long offset, const void* bytes,
+               size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(bytes, 1, len, f), len);
+  std::fclose(f);
+}
+
+// File layout: 20-byte header (magic, version, dims, entry count), then per
+// entry { i32 gb @ +0, i64 chunk @ +4, u8 source @ +12, f64 benefit @ +13,
+// i64 cells @ +21 }.
+constexpr long kHeaderBytes = 20;
+
+TEST_F(SnapshotTest, RejectsInsaneCellCountWithoutAllocating) {
+  const std::string path = TempPath("cells.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+  // A flipped high byte turns the first entry's cell count into ~10^18;
+  // loading must fail with a status, not abort in a huge resize.
+  const int64_t insane = int64_t{1} << 60;
+  PatchFile(path, kHeaderBytes + 21, &insane, sizeof(insane));
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, 10, &policy);
+  EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), -1);
+  EXPECT_EQ(fresh.num_entries(), 0u);
+}
+
+TEST_F(SnapshotTest, RejectsNegativeGroupBy) {
+  const std::string path = TempPath("gb.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+  const int32_t bad_gb = -7;
+  PatchFile(path, kHeaderBytes, &bad_gb, sizeof(bad_gb));
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, 10, &policy);
+  EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), -1);
+}
+
+TEST_F(SnapshotTest, RejectsUnknownSourceByte) {
+  const std::string path = TempPath("source.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+  const uint8_t bad_source = 7;
+  PatchFile(path, kHeaderBytes + 12, &bad_source, sizeof(bad_source));
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, 10, &policy);
+  EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), -1);
+}
+
+TEST_F(SnapshotTest, RejectsInflatedEntryCount) {
+  const std::string path = TempPath("entries.aacs");
+  ASSERT_TRUE(
+      CacheSnapshot::Save(*env_.cache, env_.schema().num_dims(), path));
+  const int64_t insane = int64_t{1} << 56;
+  PatchFile(path, 12, &insane, sizeof(insane));
+  TwoLevelPolicy policy;
+  ChunkCache fresh(kBigCache, 10, &policy);
+  EXPECT_EQ(CacheSnapshot::Load(path, env_.schema().num_dims(), &fresh), -1);
+}
+
 TEST_F(SnapshotTest, DetectsTruncation) {
   const std::string path = TempPath("trunc.aacs");
   ASSERT_TRUE(

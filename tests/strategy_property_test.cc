@@ -65,7 +65,7 @@ TEST_P(StrategyAgreementTest, AllStrategiesMatchOracle) {
       EXPECT_EQ(memo.IsComputable(gb, c), want);
       if (!want) continue;
       // Execute every strategy's plan and compare to the true chunk.
-      ChunkData truth = ground_truth.ExecuteChunkQuery(gb, {c})[0];
+      ChunkData truth = ground_truth.ExecuteChunkQuery(gb, {c}).chunks[0];
       for (LookupStrategy* strategy :
            {static_cast<LookupStrategy*>(&esm),
             static_cast<LookupStrategy*>(&vcm),
@@ -110,9 +110,9 @@ TEST_P(EnginePressureTest, AllStrategiesAnswerCorrectlyUnderEviction) {
       const GroupById gb =
           static_cast<GroupById>(rng.Uniform(lat.num_groupbys()));
       Query q = Query::WholeLevel(env.schema(), lat.LevelOf(gb));
-      std::vector<ChunkData> got = engine.ExecuteQuery(q, nullptr);
+      std::vector<ChunkData> got = engine.ExecuteQuery(q, nullptr).chunks;
       std::vector<ChunkData> want =
-          ground_truth.ExecuteChunkQuery(gb, ChunksForQuery(env.grid(), q));
+          ground_truth.ExecuteChunkQuery(gb, ChunksForQuery(env.grid(), q)).chunks;
       ASSERT_EQ(got.size(), want.size());
       auto by_chunk = [](const ChunkData& a, const ChunkData& b) {
         return a.chunk < b.chunk;

@@ -63,7 +63,7 @@ inline TestEnv MakeTestEnv(TestCube cube, double density, uint64_t seed,
 // Inserts chunk (gb, c) into the cache, fetching its true contents from the
 // backend (no eviction expected: call with ample capacity).
 inline void CacheChunkFromBackend(TestEnv& env, GroupById gb, ChunkId chunk) {
-  std::vector<ChunkData> data = env.backend->ExecuteChunkQuery(gb, {chunk});
+  std::vector<ChunkData> data = env.backend->ExecuteChunkQuery(gb, {chunk}).chunks;
   env.cache->Insert(std::move(data[0]),
                     env.benefit->BackendChunkBenefit(gb, chunk),
                     ChunkSource::kBackend);

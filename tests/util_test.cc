@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
 #include "util/stats.h"
@@ -182,6 +183,24 @@ TEST(TablePrinter, AlignsColumns) {
 TEST(TablePrinter, FmtFormatsDigits) {
   EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+TEST(Check, FullDcheckFamilyCompilesAndPassesOnTrueConditions) {
+  // Compile coverage for every AAC_DCHECK variant in whichever mode this
+  // test builds under (NDEBUG builds used to lack NE/GT/GE entirely). All
+  // conditions hold, so this also runs clean in debug builds.
+  const int lo = 1, hi = 2;
+  AAC_DCHECK(lo < hi);
+  AAC_DCHECK_EQ(lo, lo);
+  AAC_DCHECK_NE(lo, hi);
+  AAC_DCHECK_LT(lo, hi);
+  AAC_DCHECK_LE(lo, lo);
+  AAC_DCHECK_GT(hi, lo);
+  AAC_DCHECK_GE(hi, hi);
+  AAC_CHECK_NE(lo, hi);
+  AAC_CHECK_GT(hi, lo);
+  AAC_CHECK_GE(hi, lo);
+  SUCCEED();
 }
 
 TEST(TablePrinterDeathTest, RowArityMismatchAborts) {

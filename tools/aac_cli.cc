@@ -172,7 +172,7 @@ int CmdQuery(const Flags& flags) {
     }
     QueryStats stats;
     std::vector<ChunkData> chunks =
-        exp->engine().ExecuteQuery(parsed.query, &stats);
+        exp->engine().ExecuteQuery(parsed.query, &stats).chunks;
     std::vector<ResultRow> rows =
         RefineResult(exp->schema(), parsed.query, chunks);
     size_t shown = 0;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite in the
+# plain Release configuration and again with AddressSanitizer + UBSan
+# (-DAAC_SANITIZE=ON). Run from anywhere; builds land in build/ and
+# build-asan/ under the repo root.
+#
+#   tools/check.sh          # both configurations
+#   tools/check.sh plain    # plain only
+#   tools/check.sh asan     # sanitized only
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== ${name}: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${name}: ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  echo "=== ${name}: OK ==="
+}
+
+case "${mode}" in
+  plain)
+    run_config "plain" "${repo_root}/build"
+    ;;
+  asan)
+    run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
+    ;;
+  all)
+    run_config "plain" "${repo_root}/build"
+    run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: tools/check.sh [plain|asan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "all requested configurations passed"
