@@ -21,9 +21,14 @@ class TimingListener : public CacheListener {
  public:
   explicit TimingListener(CacheListener* inner) : inner_(inner) {}
 
-  void OnInsert(const CacheKey& key) override {
+  void OnInsert(const CacheKey& key, int64_t tuples) override {
     Stopwatch timer;
-    inner_->OnInsert(key);
+    inner_->OnInsert(key, tuples);
+    ms_.Add(timer.ElapsedMillis());
+  }
+  void OnUpdate(const CacheKey& key, int64_t tuples) override {
+    Stopwatch timer;
+    inner_->OnUpdate(key, tuples);
     ms_.Add(timer.ElapsedMillis());
   }
   void OnEvict(const CacheKey& key) override {

@@ -26,6 +26,7 @@ BackendServer::BackendServer(const FactTable* table,
 
 BackendResult BackendServer::ExecuteChunkQuery(
     GroupById gb, const std::vector<ChunkId>& chunks) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const ChunkGrid& grid = table_->grid();
   const GroupById base = table_->base_gb();
   BackendResult result;
@@ -47,9 +48,8 @@ BackendResult BackendServer::ExecuteChunkQuery(
   stats_.chunks_returned += static_cast<int64_t>(chunks.size());
   stats_.base_chunks_scanned += base_chunks;
   stats_.tuples_scanned += tuples;
-  if (clock_ != nullptr) {
-    clock_->Charge(model_.QueryCostNanos(base_chunks, tuples));
-  }
+  result.charged_nanos = model_.QueryCostNanos(base_chunks, tuples);
+  if (clock_ != nullptr) clock_->Charge(result.charged_nanos);
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define AAC_BACKEND_BACKEND_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "backend/cost_model.h"
@@ -31,6 +32,12 @@ const char* BackendStatusName(BackendStatus status);
 struct BackendResult {
   BackendStatus status = BackendStatus::kOk;
   std::vector<ChunkData> chunks;
+
+  /// Simulated nanoseconds this call charged into the SimClock (fetch
+  /// latency, injected fault delays, ...). Callers attribute backend time
+  /// per query from this, NOT from SimClock deltas — under concurrency a
+  /// clock delta spans every thread's charges and would double-count.
+  int64_t charged_nanos = 0;
 
   /// True when the call produced usable data (kOk or kPartial).
   bool ok() const {
@@ -88,6 +95,11 @@ struct BackendStats {
 /// cost into the supplied SimClock. One `ExecuteChunkQuery` call corresponds
 /// to the paper's single SQL statement for all missing chunks of a query.
 /// Always succeeds; wrap in a FaultInjectingBackend to exercise failures.
+///
+/// Thread-safe: ExecuteChunkQuery serializes internally (the shared stats
+/// and aggregator mutate per call), modeling the one shared RDBMS
+/// connection of the paper's middle tier. Estimates are read-only and
+/// lock-free.
 class BackendServer : public Backend {
  public:
   /// `table` and `clock` must outlive the server. The clock may be null if
@@ -114,6 +126,7 @@ class BackendServer : public Backend {
   const FactTable* table_;
   BackendCostModel model_;
   SimClock* clock_;
+  std::mutex mutex_;  // guards aggregator_ and stats_
   Aggregator aggregator_;
   BackendStats stats_;
 };

@@ -22,6 +22,11 @@ FaultInjectingBackend::FaultInjectingBackend(Backend* inner,
 
 BackendResult FaultInjectingBackend::ExecuteChunkQuery(
     GroupById gb, const std::vector<ChunkId>& chunks) {
+  // Serialized: the fault schedule is a single Rng sequence, so under
+  // concurrency the k-th backend call system-wide still draws the k-th
+  // variate. Every injected delay lands in the result's charged_nanos on
+  // top of the inner backend's own charge.
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.calls;
   // One variate per call partitions [0,1) into the fault classes, so the
   // schedule depends only on the seed and the call sequence.
@@ -30,13 +35,14 @@ BackendResult FaultInjectingBackend::ExecuteChunkQuery(
   if (u < edge) {
     ++stats_.transient_errors;
     if (clock_ != nullptr) clock_->Charge(config_.error_latency_ns);
-    return BackendResult{BackendStatus::kTransientError, {}};
+    return BackendResult{BackendStatus::kTransientError, {},
+                         config_.error_latency_ns};
   }
   edge += config_.timeout_rate;
   if (u < edge) {
     ++stats_.timeouts;
     if (clock_ != nullptr) clock_->Charge(config_.timeout_ns);
-    return BackendResult{BackendStatus::kTimeout, {}};
+    return BackendResult{BackendStatus::kTimeout, {}, config_.timeout_ns};
   }
   edge += config_.partial_result_rate;
   if (u < edge) {
@@ -50,7 +56,8 @@ BackendResult FaultInjectingBackend::ExecuteChunkQuery(
       // Nothing survived: surface it as a fast transient error, not an
       // empty "success" the caller could mistake for a full answer.
       if (clock_ != nullptr) clock_->Charge(config_.error_latency_ns);
-      return BackendResult{BackendStatus::kTransientError, {}};
+      return BackendResult{BackendStatus::kTransientError, {},
+                           config_.error_latency_ns};
     }
     BackendResult result = inner_->ExecuteChunkQuery(gb, kept);
     if (result.status == BackendStatus::kOk &&
@@ -63,7 +70,9 @@ BackendResult FaultInjectingBackend::ExecuteChunkQuery(
   if (u < edge) {
     ++stats_.latency_spikes;
     if (clock_ != nullptr) clock_->Charge(config_.latency_spike_ns);
-    return inner_->ExecuteChunkQuery(gb, chunks);
+    BackendResult result = inner_->ExecuteChunkQuery(gb, chunks);
+    result.charged_nanos += config_.latency_spike_ns;
+    return result;
   }
   ++stats_.clean;
   return inner_->ExecuteChunkQuery(gb, chunks);

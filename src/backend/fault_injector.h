@@ -2,6 +2,7 @@
 #define AAC_BACKEND_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "backend/backend.h"
@@ -64,6 +65,10 @@ struct FaultStats {
 /// latency figures are honest. Estimates pass through unmodified: the cost
 /// model describes the healthy backend, and the optimizer should not be
 /// clairvoyant about upcoming faults.
+///
+/// Thread-safe: calls serialize internally (the fault schedule draws from
+/// one seeded Rng, and stats are shared); the serialized schedule is what
+/// keeps concurrent runs reproducible in aggregate.
 class FaultInjectingBackend : public Backend {
  public:
   /// `inner` must outlive the decorator. `clock` may be null (no injected
@@ -96,6 +101,7 @@ class FaultInjectingBackend : public Backend {
   Backend* inner_;
   FaultConfig config_;
   SimClock* clock_;
+  std::mutex mutex_;  // guards rng_ and stats_
   Rng rng_;
   FaultStats stats_;
 };

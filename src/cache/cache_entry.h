@@ -44,12 +44,29 @@ struct CacheEntryInfo {
 
 /// Observer of cache membership changes; the virtual-count strategies
 /// subscribe to keep their Count/Cost arrays in sync (paper Section 4.1).
+///
+/// Concurrency contract: the cache invokes listeners while holding the
+/// affected shard's lock, so per-key events arrive in cache order.
+/// Listeners must NEVER call back into the cache (Contains/Peek/...) — that
+/// would nest shard locks and deadlock. The `tuples` argument carries the
+/// chunk's tuple count so listeners that need sizes (VCM's plan-cost
+/// estimate) can maintain them without a cache read. Listeners that guard
+/// their own state with a lock establish the global lock order
+/// "cache shard -> listener/strategy"; see DESIGN.md (Concurrency model).
 class CacheListener {
  public:
   virtual ~CacheListener() = default;
 
-  /// A chunk became cached.
-  virtual void OnInsert(const CacheKey& key) = 0;
+  /// A chunk became cached. `tuples` is its tuple count.
+  virtual void OnInsert(const CacheKey& key, int64_t tuples) = 0;
+
+  /// A cached chunk's data was replaced in place (re-insert over an existing
+  /// key, e.g. a re-fetch after invalidation). Membership is unchanged; only
+  /// the payload/size changed. Default: ignore.
+  virtual void OnUpdate(const CacheKey& key, int64_t tuples) {
+    (void)key;
+    (void)tuples;
+  }
 
   /// A chunk left the cache (eviction or explicit removal).
   virtual void OnEvict(const CacheKey& key) = 0;

@@ -1,5 +1,6 @@
 #include "cache/chunk_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -7,19 +8,30 @@
 namespace aac {
 
 ChunkCache::ChunkCache(int64_t capacity_bytes, int64_t bytes_per_tuple,
-                       const ReplacementPolicy* policy)
+                       const ReplacementPolicy* policy, int num_shards)
     : capacity_bytes_(capacity_bytes),
       bytes_per_tuple_(bytes_per_tuple),
       policy_(policy) {
   AAC_CHECK_GE(capacity_bytes, 0);
   AAC_CHECK_GT(bytes_per_tuple, 0);
   AAC_CHECK(policy != nullptr);
+  AAC_CHECK_GE(num_shards, 1);
   const auto classes = static_cast<size_t>(policy->num_victim_classes());
   AAC_CHECK_GE(policy->num_victim_classes(), 1);
-  rings_.resize(classes);
-  hands_.resize(classes);
-  for (size_t c = 0; c < classes; ++c) hands_[c] = rings_[c].end();
-  class_bytes_.assign(classes, 0);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  const int64_t base = capacity_bytes / num_shards;
+  const int64_t remainder = capacity_bytes % num_shards;
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (s < remainder ? 1 : 0);
+    shard->rings.resize(classes);
+    shard->hands.resize(classes);
+    for (size_t c = 0; c < classes; ++c) {
+      shard->hands[c] = shard->rings[c].end();
+    }
+    shard->class_bytes.assign(classes, 0);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 void ChunkCache::AddListener(CacheListener* listener) {
@@ -27,54 +39,175 @@ void ChunkCache::AddListener(CacheListener* listener) {
   listeners_.push_back(listener);
 }
 
+int64_t ChunkCache::bytes_used() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes_used;
+  }
+  return total;
+}
+
+size_t ChunkCache::num_entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+CacheStats ChunkCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.inserts += shard->stats.inserts;
+    total.rejected_inserts += shard->stats.rejected_inserts;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+void ChunkCache::ResetStats() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->stats = CacheStats();
+  }
+}
+
 bool ChunkCache::Contains(const CacheKey& key) const {
-  return entries_.count(key) > 0;
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.entries.count(key) > 0;
 }
 
 const ChunkData* ChunkCache::Get(const CacheKey& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
+  ++shard.stats.hits;
   it->second.clock_value = policy_->ClockValue(it->second.info);
   return &it->second.data;
 }
 
 const ChunkData* ChunkCache::Peek(const CacheKey& key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second.data;
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? nullptr : &it->second.data;
+}
+
+bool ChunkCache::GetCopy(const CacheKey& key, ChunkData* out) {
+  AAC_CHECK(out != nullptr);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
+    return false;
+  }
+  ++shard.stats.hits;
+  it->second.clock_value = policy_->ClockValue(it->second.info);
+  *out = it->second.data;
+  return true;
+}
+
+const ChunkData* ChunkCache::GetPinned(const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  it->second.clock_value = policy_->ClockValue(it->second.info);
+  ++it->second.pin_count;
+  return &it->second.data;
 }
 
 bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
   const CacheKey key{data.gb, data.chunk};
-  auto existing = entries_.find(key);
-  if (existing != entries_.end()) {
-    // Refresh: the chunk is already cached; treat the insert as a use.
-    existing->second.clock_value = policy_->ClockValue(existing->second.info);
-    return true;
-  }
-
   CacheEntryInfo info;
   info.key = key;
   info.bytes = data.LogicalBytes(bytes_per_tuple_);
   info.benefit = benefit;
   info.source = source;
-  if (info.bytes > capacity_bytes_) {
-    ++stats_.rejected_inserts;
+  const auto tuples = static_cast<int64_t>(data.tuple_count());
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto existing = shard.entries.find(key);
+  if (existing != shard.entries.end()) {
+    Entry& entry = existing->second;
+    if (entry.pin_count > 0) {
+      // A reader holds the data; swapping it out would invalidate the
+      // pinned pointer. Treat the insert as a use only.
+      entry.clock_value = policy_->ClockValue(entry.info);
+      return true;
+    }
+    if (info.bytes > shard.capacity) {
+      ++shard.stats.rejected_inserts;
+      return false;
+    }
+    const int64_t needed =
+        shard.bytes_used - entry.info.bytes + info.bytes - shard.capacity;
+    if (needed > 0) {
+      // Shield the entry being replaced from its own eviction sweep.
+      ++entry.pin_count;
+      const bool evicted = EvictFor(shard, info, needed);
+      --entry.pin_count;
+      if (!evicted) {
+        ++shard.stats.rejected_inserts;
+        return false;
+      }
+    }
+    const int new_class = policy_->VictimClass(info);
+    AAC_CHECK(new_class >= 0 && new_class < policy_->num_victim_classes());
+    const int old_class = entry.victim_class;
+    shard.bytes_used += info.bytes - entry.info.bytes;
+    shard.class_bytes[static_cast<size_t>(old_class)] -= entry.info.bytes;
+    shard.class_bytes[static_cast<size_t>(new_class)] += info.bytes;
+    if (new_class != old_class) {
+      auto& old_ring = shard.rings[static_cast<size_t>(old_class)];
+      auto& old_hand = shard.hands[static_cast<size_t>(old_class)];
+      if (old_hand == entry.ring_pos) ++old_hand;
+      old_ring.erase(entry.ring_pos);
+      auto& new_ring = shard.rings[static_cast<size_t>(new_class)];
+      new_ring.push_back(key);
+      entry.ring_pos = std::prev(new_ring.end());
+      if (shard.hands[static_cast<size_t>(new_class)] == new_ring.end()) {
+        shard.hands[static_cast<size_t>(new_class)] = entry.ring_pos;
+      }
+    }
+    entry.data = std::move(data);
+    entry.info = info;
+    entry.clock_value = policy_->ClockValue(info);
+    entry.victim_class = new_class;
+    for (CacheListener* l : listeners_) l->OnUpdate(key, tuples);
+    return true;
+  }
+
+  if (info.bytes > shard.capacity) {
+    ++shard.stats.rejected_inserts;
     return false;
   }
 
-  const int64_t needed = bytes_used_ + info.bytes - capacity_bytes_;
-  if (needed > 0 && !EvictFor(info, needed)) {
-    ++stats_.rejected_inserts;
+  const int64_t needed = shard.bytes_used + info.bytes - shard.capacity;
+  if (needed > 0 && !EvictFor(shard, info, needed)) {
+    ++shard.stats.rejected_inserts;
     return false;
   }
 
   const int victim_class = policy_->VictimClass(info);
   AAC_CHECK(victim_class >= 0 && victim_class < policy_->num_victim_classes());
-  auto& ring = rings_[static_cast<size_t>(victim_class)];
+  auto& ring = shard.rings[static_cast<size_t>(victim_class)];
   Entry entry;
   entry.data = std::move(data);
   entry.info = info;
@@ -82,57 +215,111 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
   entry.victim_class = victim_class;
   ring.push_back(key);
   entry.ring_pos = std::prev(ring.end());
-  if (hands_[static_cast<size_t>(victim_class)] == ring.end()) {
-    hands_[static_cast<size_t>(victim_class)] = entry.ring_pos;
+  if (shard.hands[static_cast<size_t>(victim_class)] == ring.end()) {
+    shard.hands[static_cast<size_t>(victim_class)] = entry.ring_pos;
   }
-  bytes_used_ += info.bytes;
-  class_bytes_[static_cast<size_t>(victim_class)] += info.bytes;
-  entries_.emplace(key, std::move(entry));
-  ++stats_.inserts;
-  for (CacheListener* l : listeners_) l->OnInsert(key);
+  shard.bytes_used += info.bytes;
+  shard.class_bytes[static_cast<size_t>(victim_class)] += info.bytes;
+  shard.entries.emplace(key, std::move(entry));
+  ++shard.stats.inserts;
+  for (CacheListener* l : listeners_) l->OnInsert(key, tuples);
   return true;
 }
 
 bool ChunkCache::Remove(const CacheKey& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
   AAC_CHECK_EQ(it->second.pin_count, 0);
-  EvictEntry(it);
+  EvictEntry(shard, it);
   return true;
 }
 
 void ChunkCache::Boost(const CacheKey& key, double amount) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  it->second.clock_value += amount;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  it->second.clock_value =
+      std::min(it->second.clock_value + amount, kMaxClockValue);
 }
 
 void ChunkCache::Pin(const CacheKey& key) {
-  auto it = entries_.find(key);
-  AAC_CHECK(it != entries_.end());
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  AAC_CHECK(it != shard.entries.end());
   ++it->second.pin_count;
 }
 
 void ChunkCache::Unpin(const CacheKey& key) {
-  auto it = entries_.find(key);
-  AAC_CHECK(it != entries_.end());
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  AAC_CHECK(it != shard.entries.end());
   AAC_CHECK_GT(it->second.pin_count, 0);
   --it->second.pin_count;
 }
 
 void ChunkCache::ForEach(
     const std::function<void(const CacheEntryInfo&)>& fn) const {
-  for (const auto& [key, entry] : entries_) fn(entry.info);
+  // Snapshot first so the callback runs without a shard lock and may call
+  // back into the cache (snapshot writers Peek every visited key).
+  std::vector<CacheEntryInfo> infos;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries) infos.push_back(entry.info);
+  }
+  for (const CacheEntryInfo& info : infos) fn(info);
 }
 
-bool ChunkCache::EvictFor(const CacheEntryInfo& incoming, int64_t needed) {
+bool ChunkCache::ValidateInvariants() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    int64_t bytes = 0;
+    std::vector<int64_t> class_bytes(shard->class_bytes.size(), 0);
+    size_t ring_members = 0;
+    for (const auto& [key, entry] : shard->entries) {
+      if (!(key == entry.info.key)) return false;
+      if (entry.info.bytes < 0 || entry.pin_count < 0) return false;
+      if (entry.victim_class < 0 ||
+          entry.victim_class >= static_cast<int>(shard->rings.size())) {
+        return false;
+      }
+      if (!(*entry.ring_pos == key)) return false;
+      bytes += entry.info.bytes;
+      class_bytes[static_cast<size_t>(entry.victim_class)] += entry.info.bytes;
+    }
+    if (bytes != shard->bytes_used) return false;
+    if (shard->bytes_used > shard->capacity) return false;
+    if (class_bytes != shard->class_bytes) return false;
+    for (size_t c = 0; c < shard->rings.size(); ++c) {
+      const auto& ring = shard->rings[c];
+      ring_members += ring.size();
+      for (const CacheKey& key : ring) {
+        auto it = shard->entries.find(key);
+        if (it == shard->entries.end()) return false;
+        if (it->second.victim_class != static_cast<int>(c)) return false;
+      }
+      // The hand is either parked at end() or on a live ring member.
+      const auto& hand = shard->hands[c];
+      if (hand != ring.end() && shard->entries.count(*hand) == 0) return false;
+    }
+    if (ring_members != shard->entries.size()) return false;
+  }
+  return true;
+}
+
+bool ChunkCache::EvictFor(Shard& shard, const CacheEntryInfo& incoming,
+                          int64_t needed) {
   // Fast reject: not enough evictable bytes in the classes this chunk may
   // replace — no point sweeping.
   int64_t available = 0;
   for (int victim_class = 0; victim_class < policy_->num_victim_classes();
        ++victim_class) {
     if (policy_->MayReplaceClass(incoming, victim_class)) {
-      available += class_bytes_[static_cast<size_t>(victim_class)];
+      available += shard.class_bytes[static_cast<size_t>(victim_class)];
     }
   }
   if (available < needed) return false;
@@ -145,12 +332,12 @@ bool ChunkCache::EvictFor(const CacheEntryInfo& incoming, int64_t needed) {
        victim_class < policy_->num_victim_classes() && freed < needed;
        ++victim_class) {
     if (!policy_->MayReplaceClass(incoming, victim_class)) continue;
-    auto& ring = rings_[static_cast<size_t>(victim_class)];
-    auto& hand = hands_[static_cast<size_t>(victim_class)];
-    // Bound the sweep: with weights clamped to 32, every entry reaches zero
-    // within 32 full revolutions plus slack for boosts. A revolution that
-    // finds no eligible victim (all pinned / policy-protected) ends the
-    // class immediately.
+    auto& ring = shard.rings[static_cast<size_t>(victim_class)];
+    auto& hand = shard.hands[static_cast<size_t>(victim_class)];
+    // Bound the sweep: clock values are capped at kMaxClockValue (48), so
+    // every entry reaches zero within 64 decrement visits. A revolution
+    // that finds no eligible victim (all pinned / policy-protected) ends
+    // the class immediately.
     int64_t budget = static_cast<int64_t>(ring.size()) * 64 + 64;
     int64_t remaining_in_rev = static_cast<int64_t>(ring.size());
     bool eligible_in_rev = false;
@@ -161,8 +348,8 @@ bool ChunkCache::EvictFor(const CacheEntryInfo& incoming, int64_t needed) {
         remaining_in_rev = static_cast<int64_t>(ring.size());
         eligible_in_rev = false;
       }
-      auto it = entries_.find(*hand);
-      AAC_CHECK(it != entries_.end());
+      auto it = shard.entries.find(*hand);
+      AAC_CHECK(it != shard.entries.end());
       Entry& entry = it->second;
       if (entry.pin_count > 0 || !policy_->CanReplace(incoming, entry.info)) {
         ++hand;
@@ -171,7 +358,7 @@ bool ChunkCache::EvictFor(const CacheEntryInfo& incoming, int64_t needed) {
       eligible_in_rev = true;
       if (entry.clock_value <= 0.0) {
         freed += entry.info.bytes;
-        EvictEntry(it);  // advances the hand past the victim
+        EvictEntry(shard, it);  // advances the hand past the victim
         continue;
       }
       entry.clock_value -= 1.0;
@@ -181,16 +368,17 @@ bool ChunkCache::EvictFor(const CacheEntryInfo& incoming, int64_t needed) {
   return freed >= needed;
 }
 
-void ChunkCache::EvictEntry(
-    std::unordered_map<CacheKey, Entry, CacheKeyHash>::iterator it) {
+void ChunkCache::EvictEntry(Shard& shard, EntryMap::iterator it) {
   const CacheKey key = it->first;
   const auto victim_class = static_cast<size_t>(it->second.victim_class);
-  if (hands_[victim_class] == it->second.ring_pos) ++hands_[victim_class];
-  rings_[victim_class].erase(it->second.ring_pos);
-  bytes_used_ -= it->second.info.bytes;
-  class_bytes_[victim_class] -= it->second.info.bytes;
-  entries_.erase(it);
-  ++stats_.evictions;
+  if (shard.hands[victim_class] == it->second.ring_pos) {
+    ++shard.hands[victim_class];
+  }
+  shard.rings[victim_class].erase(it->second.ring_pos);
+  shard.bytes_used -= it->second.info.bytes;
+  shard.class_bytes[victim_class] -= it->second.info.bytes;
+  shard.entries.erase(it);
+  ++shard.stats.evictions;
   for (CacheListener* l : listeners_) l->OnEvict(key);
 }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -34,58 +36,114 @@ struct CacheStats {
 /// Entries can be *pinned* while a plan executor reads them, which exempts
 /// them from eviction; eviction mid-aggregation would invalidate the
 /// executor's pointers.
+///
+/// Concurrency: the cache is split into `num_shards` shards by hash of the
+/// key; every shard has its own mutex, entry map, CLOCK rings and byte
+/// budget (capacity/num_shards each), so operations on different shards
+/// never contend. All mutating and reading member functions are safe to
+/// call from multiple threads. The raw-pointer accessors `Get` and `Peek`
+/// remain for single-threaded callers (the pointer is released outside the
+/// lock); concurrent readers must use `GetCopy` or `GetPinned`, whose
+/// results stay valid by copy or by pin respectively. Listeners fire while
+/// the affected shard's lock is held (see CacheListener's contract). The
+/// default of one shard preserves the exact global eviction order of the
+/// serial cache; experiments that care about replacement fidelity use it,
+/// concurrent drivers pass 16+.
 class ChunkCache {
  public:
+  /// Upper bound on any entry's clock value. Policies grant weights in
+  /// [1, 32] (ReplacementPolicy::NormalizedWeight); Boost may push a value
+  /// above a policy grant but never beyond this bound, which keeps the
+  /// eviction sweep budget (64 decrements per resident entry) sufficient.
+  static constexpr double kMaxClockValue = 48.0;
+
   /// `policy` must outlive the cache. `bytes_per_tuple` is the logical
-  /// accounting size of one cached tuple (paper: 20 bytes).
+  /// accounting size of one cached tuple (paper: 20 bytes). `num_shards`
+  /// splits the capacity into independently locked shards (>= 1).
   ChunkCache(int64_t capacity_bytes, int64_t bytes_per_tuple,
-             const ReplacementPolicy* policy);
+             const ReplacementPolicy* policy, int num_shards = 1);
 
   ChunkCache(const ChunkCache&) = delete;
   ChunkCache& operator=(const ChunkCache&) = delete;
 
-  /// Registers a membership observer; must outlive the cache.
+  /// Registers a membership observer; must outlive the cache. Not
+  /// thread-safe: register all listeners before concurrent use.
   void AddListener(CacheListener* listener);
 
   int64_t capacity_bytes() const { return capacity_bytes_; }
-  int64_t bytes_used() const { return bytes_used_; }
   int64_t bytes_per_tuple() const { return bytes_per_tuple_; }
-  size_t num_entries() const { return entries_.size(); }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Bytes / entries across all shards (each shard locked in turn; the sum
+  /// is exact only while no writer runs concurrently).
+  int64_t bytes_used() const;
+  size_t num_entries() const;
+
+  /// Aggregated stats across shards, by value (a reference would dangle
+  /// across shard updates).
+  CacheStats stats() const;
+  void ResetStats();
 
   /// True if the chunk is cached. Does not touch replacement state and does
   /// not count as a hit or miss.
   bool Contains(const CacheKey& key) const;
 
   /// Returns the cached chunk and refreshes its clock value, or nullptr.
-  /// Counts a hit or miss. The pointer is valid until the next Insert or
-  /// Remove unless the entry is pinned.
+  /// Counts a hit or miss. Single-threaded use only: the pointer is valid
+  /// until the entry is evicted or replaced, which a concurrent writer may
+  /// do at any time — concurrent readers use GetCopy or GetPinned.
   const ChunkData* Get(const CacheKey& key);
 
   /// Returns the cached chunk without touching replacement state or stats.
+  /// Same single-threaded pointer caveat as Get.
   const ChunkData* Peek(const CacheKey& key) const;
 
+  /// Copies the cached chunk into `*out` under the shard lock; returns
+  /// false on a miss. Counts a hit or miss and refreshes the clock value.
+  /// Safe under any concurrency.
+  bool GetCopy(const CacheKey& key, ChunkData* out);
+
+  /// Returns the cached chunk with its pin count raised (caller must Unpin
+  /// when done), or nullptr on a miss. Counts a hit or miss and refreshes
+  /// the clock value. The pointer stays valid until the matching Unpin:
+  /// pinned entries are never evicted and never replaced in place.
+  const ChunkData* GetPinned(const CacheKey& key);
+
   /// Inserts a chunk with the given benefit and provenance. Returns false
-  /// if the chunk could not be admitted (larger than the whole cache, or
-  /// the policy forbids evicting enough victims). Inserting an existing key
-  /// refreshes its clock value and returns true.
+  /// if the chunk could not be admitted (larger than its shard, or the
+  /// policy forbids evicting enough victims). Inserting over an existing
+  /// key *replaces* the entry's data, benefit and provenance in place and
+  /// refreshes its clock value (a re-fetch after invalidation must not
+  /// leave stale data cached); listeners see OnUpdate, not OnInsert. If the
+  /// existing entry is pinned its data cannot be swapped out from under the
+  /// reader — the insert only refreshes the clock value and returns true.
   bool Insert(ChunkData data, double benefit, ChunkSource source);
 
-  /// Removes a chunk; returns false if it was not cached.
+  /// Removes a chunk; returns false if it was not cached. The entry must
+  /// not be pinned.
   bool Remove(const CacheKey& key);
 
   /// Adds `amount` to the entry's clock value (the two-level policy boosts
-  /// every chunk of a group used to compute an aggregate, Section 6.3).
-  /// No-op if the key is not cached.
+  /// every chunk of a group used to compute an aggregate, Section 6.3),
+  /// saturating at kMaxClockValue so a heavily boosted entry cannot outlast
+  /// the eviction sweep budget. No-op if the key is not cached.
   void Boost(const CacheKey& key, double amount);
 
   /// Pins an entry against eviction (counted; must be balanced by Unpin).
   void Pin(const CacheKey& key);
   void Unpin(const CacheKey& key);
 
-  /// Calls `fn` for every entry, in unspecified order.
+  /// Calls `fn` for every entry, in unspecified order. The entry infos are
+  /// snapshotted shard by shard first and `fn` runs without any lock held,
+  /// so the callback may call back into the cache (Peek, Get, ...).
   void ForEach(const std::function<void(const CacheEntryInfo&)>& fn) const;
+
+  /// Exhaustive structural self-check: per shard, bytes_used equals the sum
+  /// of entry sizes, class_bytes match, every ring position round-trips
+  /// through the entry map, hands point into their rings, and no shard
+  /// exceeds its capacity. Returns true when all invariants hold. Intended
+  /// for tests (quiesced cache); takes each shard lock in turn.
+  bool ValidateInvariants() const;
 
  private:
   struct Entry {
@@ -97,25 +155,44 @@ class ChunkCache {
     std::list<CacheKey>::iterator ring_pos;
   };
 
-  /// Frees at least `needed` bytes by sweeping the per-class clock rings;
-  /// returns true on success. Entries the policy refuses to replace or that
-  /// are pinned are skipped (without decrement).
-  bool EvictFor(const CacheEntryInfo& incoming, int64_t needed);
+  using EntryMap = std::unordered_map<CacheKey, Entry, CacheKeyHash>;
 
-  void EvictEntry(std::unordered_map<CacheKey, Entry, CacheKeyHash>::iterator it);
+  /// One lock domain: entries, CLOCK rings/hands and byte accounting for
+  /// the keys that hash here.
+  struct Shard {
+    mutable std::mutex mutex;
+    EntryMap entries;
+    // One CLOCK ring + hand per victim class, so a class-targeted sweep
+    // never walks entries of protected classes.
+    std::vector<std::list<CacheKey>> rings;
+    std::vector<std::list<CacheKey>::iterator> hands;
+    int64_t capacity = 0;
+    int64_t bytes_used = 0;
+    std::vector<int64_t> class_bytes;  // bytes per victim class
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return *shards_[CacheKeyHash()(key) % shards_.size()];
+  }
+  const Shard& ShardFor(const CacheKey& key) const {
+    return *shards_[CacheKeyHash()(key) % shards_.size()];
+  }
+
+  /// Frees at least `needed` bytes in `shard` by sweeping the per-class
+  /// clock rings; returns true on success. Entries the policy refuses to
+  /// replace or that are pinned are skipped (without decrement). Caller
+  /// holds the shard lock.
+  bool EvictFor(Shard& shard, const CacheEntryInfo& incoming, int64_t needed);
+
+  void EvictEntry(Shard& shard, EntryMap::iterator it);
 
   int64_t capacity_bytes_;
   int64_t bytes_per_tuple_;
   const ReplacementPolicy* policy_;
   std::vector<CacheListener*> listeners_;
-  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
-  // One CLOCK ring + hand per victim class, so a class-targeted sweep never
-  // walks entries of protected classes.
-  std::vector<std::list<CacheKey>> rings_;
-  std::vector<std::list<CacheKey>::iterator> hands_;
-  int64_t bytes_used_ = 0;
-  std::vector<int64_t> class_bytes_;  // bytes per victim class
-  CacheStats stats_;
+  // unique_ptr: Shard holds a mutex and must never move.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace aac

@@ -1,24 +1,50 @@
 #include "core/concurrent_engine.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace aac {
 
-ConcurrentQueryEngine::ConcurrentQueryEngine(QueryEngine* engine)
-    : engine_(engine) {
+ConcurrentQueryEngine::ConcurrentQueryEngine(EngineFactory factory)
+    : factory_(std::move(factory)) {
+  AAC_CHECK(factory_ != nullptr);
+}
+
+std::unique_ptr<QueryEngine> ConcurrentQueryEngine::Borrow() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!idle_.empty()) {
+      std::unique_ptr<QueryEngine> engine = std::move(idle_.back());
+      idle_.pop_back();
+      return engine;
+    }
+    ++engines_created_;
+  }
+  // Build outside the lock: the factory may do nontrivial setup.
+  std::unique_ptr<QueryEngine> engine = factory_();
   AAC_CHECK(engine != nullptr);
+  engine->set_single_flight(&single_flight_);
+  return engine;
+}
+
+void ConcurrentQueryEngine::Return(std::unique_ptr<QueryEngine> engine) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  idle_.push_back(std::move(engine));
 }
 
 QueryResult ConcurrentQueryEngine::ExecuteQuery(const Query& query,
                                                 QueryStats* stats) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++queries_executed_;
-  return engine_->ExecuteQuery(query, stats);
+  std::unique_ptr<QueryEngine> engine = Borrow();
+  QueryResult result = engine->ExecuteQuery(query, stats);
+  Return(std::move(engine));
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  return result;
 }
 
-int64_t ConcurrentQueryEngine::queries_executed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queries_executed_;
+int64_t ConcurrentQueryEngine::engines_created() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return engines_created_;
 }
 
 }  // namespace aac

@@ -1,28 +1,40 @@
 #ifndef AAC_CORE_CONCURRENT_ENGINE_H_
 #define AAC_CORE_CONCURRENT_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/query_engine.h"
+#include "core/single_flight.h"
 
 namespace aac {
 
-/// Thread-safe facade over a QueryEngine.
+/// Thread-safe query execution over a shared cache.
 ///
-/// The paper's middle tier is single-threaded, and so are this library's
-/// core structures (the cache mutates on every query: clock values, counts,
-/// cost arrays). This facade serializes whole queries behind one mutex —
-/// coarse, but correct and honest about it: in-cache work is microseconds,
-/// so a single lock sustains tens of thousands of cache-answered queries
-/// per second, and concurrent clients mainly overlap while *waiting* on
-/// backend latency, which here is charged to a simulated clock anyway.
-/// Finer-grained sharding (per-group-by locks, lock-free counts) is the
-/// natural next step and is deliberately out of scope.
+/// A QueryEngine is cheap but not thread-safe: it owns per-query scratch
+/// state (aggregator, plan executor, retry counters, breaker). The shared
+/// structures it points at — the sharded ChunkCache, the lookup strategy,
+/// the backend and the SimClock — ARE thread-safe. So instead of one engine
+/// behind one lock, this class keeps a pool of engines built by a caller
+/// supplied factory: each ExecuteQuery borrows an idle engine (creating one
+/// if none is free), runs the query with full concurrency against the
+/// shared cache, and returns the engine to the pool. The pool mutex is held
+/// only for the borrow/return pointer swaps, never across a query.
+///
+/// All pooled engines share one SingleFlight group, so concurrent fetches
+/// of the same (group-by, chunk) collapse into a single backend call.
 class ConcurrentQueryEngine {
  public:
-  /// `engine` must outlive this facade.
-  explicit ConcurrentQueryEngine(QueryEngine* engine);
+  /// Builds one engine wired to the shared cache/strategy/backend. Must be
+  /// callable from any thread; in practice it is only invoked under the
+  /// pool mutex, so plain captures of shared wiring are fine.
+  using EngineFactory = std::function<std::unique_ptr<QueryEngine>()>;
+
+  explicit ConcurrentQueryEngine(EngineFactory factory);
 
   ConcurrentQueryEngine(const ConcurrentQueryEngine&) = delete;
   ConcurrentQueryEngine& operator=(const ConcurrentQueryEngine&) = delete;
@@ -32,12 +44,27 @@ class ConcurrentQueryEngine {
   QueryResult ExecuteQuery(const Query& query, QueryStats* stats);
 
   /// Queries executed so far (thread-safe).
-  int64_t queries_executed() const;
+  int64_t queries_executed() const {
+    return queries_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Engines created so far — bounded by the peak number of concurrent
+  /// ExecuteQuery calls (thread-safe).
+  int64_t engines_created() const;
+
+  /// The shared fetch-coalescing group (e.g. for coalesced() reporting).
+  SingleFlight& single_flight() { return single_flight_; }
 
  private:
-  QueryEngine* engine_;
-  mutable std::mutex mutex_;
-  int64_t queries_executed_ = 0;
+  std::unique_ptr<QueryEngine> Borrow();
+  void Return(std::unique_ptr<QueryEngine> engine);
+
+  EngineFactory factory_;
+  SingleFlight single_flight_;
+  mutable std::mutex pool_mutex_;  // guards idle_ and engines_created_
+  std::vector<std::unique_ptr<QueryEngine>> idle_;
+  int64_t engines_created_ = 0;
+  std::atomic<int64_t> queries_executed_{0};
 };
 
 }  // namespace aac

@@ -1,6 +1,7 @@
 #include "core/executor.h"
 
 #include <deque>
+#include <utility>
 
 #include "util/check.h"
 
@@ -17,43 +18,56 @@ PlanExecutor::PlanExecutor(const ChunkGrid* grid, ChunkCache* cache,
 ExecutionResult PlanExecutor::Execute(const PlanNode& plan) {
   ExecutionResult result;
   const int64_t before = aggregator_->tuples_processed();
-  result.data = ExecuteNode(plan, &result);
+  std::vector<CacheKey> pinned;
+  bool ok = true;
+  ChunkData out = ExecuteNode(plan, &result, &pinned, &ok);
+  // Pins are held until the whole plan is materialized, then released in
+  // one sweep — including the unwind path when a leaf went missing.
+  for (const CacheKey& key : pinned) cache_->Unpin(key);
   result.tuples_aggregated = aggregator_->tuples_processed() - before;
+  result.ok = ok;
+  if (ok) result.data = std::move(out);
   return result;
 }
 
 ChunkData PlanExecutor::ExecuteNode(const PlanNode& node,
-                                    ExecutionResult* result) {
+                                    ExecutionResult* result,
+                                    std::vector<CacheKey>* pinned, bool* ok) {
   if (node.cached) {
-    const ChunkData* cached = cache_->Get(node.key);
-    AAC_CHECK(cached != nullptr);  // plans are built against cache contents
+    // Root-level cached chunk: hand back a copy. A miss here means the plan
+    // went stale since lookup — report failure instead of aborting.
+    ChunkData copy;
+    if (!cache_->GetCopy(node.key, &copy)) {
+      *ok = false;
+      return {};
+    }
     result->cached_inputs.push_back(node.key);
-    return *cached;  // root-level cached chunk: hand back a copy
+    return copy;
   }
 
   // Materialize inputs: cached ones are read in place (pinned), computed
   // ones recurse. std::deque keeps owned chunk addresses stable.
   std::deque<ChunkData> owned;
   std::vector<const ChunkData*> sources;
-  std::vector<CacheKey> pinned;
   sources.reserve(node.inputs.size());
   for (const auto& input : node.inputs) {
     if (input->cached) {
-      const ChunkData* cached = cache_->Get(input->key);
-      AAC_CHECK(cached != nullptr);
-      cache_->Pin(input->key);
-      pinned.push_back(input->key);
+      const ChunkData* cached = cache_->GetPinned(input->key);
+      if (cached == nullptr) {
+        *ok = false;
+        return {};
+      }
+      pinned->push_back(input->key);
       result->cached_inputs.push_back(input->key);
       sources.push_back(cached);
     } else {
-      owned.push_back(ExecuteNode(*input, result));
+      owned.push_back(ExecuteNode(*input, result, pinned, ok));
+      if (!*ok) return {};
       sources.push_back(&owned.back());
     }
   }
-  ChunkData out = aggregator_->Aggregate(node.source_gb, sources, node.key.gb,
-                                         node.key.chunk);
-  for (const CacheKey& key : pinned) cache_->Unpin(key);
-  return out;
+  return aggregator_->Aggregate(node.source_gb, sources, node.key.gb,
+                                node.key.chunk);
 }
 
 }  // namespace aac

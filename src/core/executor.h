@@ -11,6 +11,12 @@ namespace aac {
 
 /// Result of executing one aggregation plan.
 struct ExecutionResult {
+  /// False when a planned cache leaf had vanished by execution time (a
+  /// concurrent eviction between lookup and execution): `data` is empty and
+  /// the caller should fall back to the backend for the chunk. Plans are
+  /// advisory under concurrency, not guarantees.
+  bool ok = true;
+
   ChunkData data;
 
   /// Source tuples folded by all aggregation steps of the plan — the actual
@@ -24,20 +30,25 @@ struct ExecutionResult {
 
 /// Executes aggregation plans against the cache.
 ///
-/// Cached leaves are read in place (pinned for the duration of the
-/// execution, so an unrelated eviction cannot invalidate them); inner nodes
-/// aggregate bottom-up through the Aggregator.
+/// Cached leaves are read in place, pinned for the duration of the
+/// execution (GetPinned), so a concurrent eviction cannot invalidate them;
+/// inner nodes aggregate bottom-up through the Aggregator. All pins are
+/// released before Execute returns, on success and on failure alike.
+///
+/// The executor itself is not thread-safe (the Aggregator accumulates a
+/// work counter); concurrent engines each own one.
 class PlanExecutor {
  public:
   /// All pointers must outlive the executor.
   PlanExecutor(const ChunkGrid* grid, ChunkCache* cache,
                Aggregator* aggregator);
 
-  /// Materializes the plan's root chunk.
+  /// Materializes the plan's root chunk. Check `ExecutionResult::ok`.
   ExecutionResult Execute(const PlanNode& plan);
 
  private:
-  ChunkData ExecuteNode(const PlanNode& node, ExecutionResult* result);
+  ChunkData ExecuteNode(const PlanNode& node, ExecutionResult* result,
+                        std::vector<CacheKey>* pinned, bool* ok);
 
   const ChunkGrid* grid_;
   ChunkCache* cache_;

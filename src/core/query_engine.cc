@@ -106,16 +106,22 @@ std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
                                                  std::vector<ChunkData>* fetched,
                                                  QueryStats* stats) {
   QueryStats& s = *stats;
+  if (pending.empty()) return pending;
   if (breaker_ != nullptr && !breaker_->AllowRequest()) {
     s.backend_rejected = true;
     return pending;
   }
-  const int64_t phase_start = sim_clock_->TotalNanos();
+  // Simulated nanoseconds THIS query's calls and backoffs charged. The
+  // shared SimClock interleaves charges from every concurrent query, so
+  // deadline checks and the backend_ms attribution use this local tally —
+  // a clock delta would absorb other threads' charges and double-count.
+  int64_t spent = 0;
   int attempts = 0;
   while (!pending.empty()) {
     ++attempts;
     ++s.backend_attempts;
     BackendResult result = backend_->ExecuteChunkQuery(gb, pending);
+    spent += result.charged_nanos;
     if (result.ok()) {
       if (breaker_ != nullptr) breaker_->RecordSuccess();
       for (ChunkData& data : result.chunks) {
@@ -127,8 +133,7 @@ std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
       if (pending.empty()) break;
       // Partial result: the backend responded, so re-ask for the remainder
       // immediately — no backoff, but still under the attempt/deadline caps.
-      if (!retry_.AllowRetry(attempts,
-                             sim_clock_->TotalNanos() - phase_start)) {
+      if (!retry_.AllowRetry(attempts, spent)) {
         s.backend_exhausted = true;
         break;
       }
@@ -144,20 +149,21 @@ std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
         break;
       }
     }
-    if (!retry_.AllowRetry(attempts, sim_clock_->TotalNanos() - phase_start)) {
+    if (!retry_.AllowRetry(attempts, spent)) {
       s.backend_exhausted = true;
       break;
     }
     const int64_t backoff = retry_.BackoffNanos(attempts);
-    const int64_t spent = sim_clock_->TotalNanos() - phase_start;
     if (retry_.config().deadline_ns > 0 &&
         spent + backoff > retry_.config().deadline_ns) {
       s.backend_exhausted = true;
       break;
     }
     sim_clock_->Charge(backoff);
+    spent += backoff;
   }
   s.backend_retries += attempts > 0 ? attempts - 1 : 0;
+  s.backend_ms += static_cast<double>(spent) / 1e6;
   return pending;
 }
 
@@ -236,13 +242,25 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
   std::vector<ComputedInfo> computed;
   for (const auto& plan : plans) {
     if (plan->cached) {
-      const ChunkData* data = cache_->Get(plan->key);
-      AAC_CHECK(data != nullptr);
-      results.push_back(*data);
-      ++s.chunks_direct;
+      ChunkData copy;
+      if (cache_->GetCopy(plan->key, &copy)) {
+        results.push_back(std::move(copy));
+        ++s.chunks_direct;
+      } else {
+        // Plans are advisory under concurrency: the chunk was evicted
+        // between the strategy probe and this read. Fall back to the
+        // backend instead of aborting.
+        missing.push_back(plan->key.chunk);
+      }
       continue;
     }
     ExecutionResult exec = executor_.Execute(*plan);
+    if (!exec.ok) {
+      // A planned input vanished mid-plan (concurrent eviction); the
+      // executor released its pins and produced nothing for this chunk.
+      missing.push_back(plan->key.chunk);
+      continue;
+    }
     s.tuples_aggregated += exec.tuples_aggregated;
     computed.push_back(ComputedInfo{results.size(), exec.tuples_aggregated,
                                     std::move(exec.cached_inputs)});
@@ -254,15 +272,60 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
   // --- Backend phase: one SQL query for all missing chunks, retried with
   // backoff on failure; what cannot be fetched degrades instead of
   // aborting. ---
-  std::vector<ChunkData> backend_results;
+  std::vector<ChunkData> backend_results;   // fetched by this query
+  std::vector<ChunkData> coalesced_results; // from another query's fetch
   s.complete_hit = missing.empty();
   if (!missing.empty()) {
-    const int64_t sim_before = sim_clock_->TotalNanos();
-    result.unavailable =
-        FetchWithRetry(gb, std::move(missing), &backend_results, &s);
-    s.backend_ms =
-        static_cast<double>(sim_clock_->TotalNanos() - sim_before) / 1e6;
-    s.chunks_backend = static_cast<int64_t>(backend_results.size());
+    if (single_flight_ == nullptr) {
+      result.unavailable =
+          FetchWithRetry(gb, std::move(missing), &backend_results, &s);
+    } else {
+      // Single-flight: for each missing chunk either lead (this query will
+      // fetch it and publish the result) or follow (another query's fetch
+      // for the same chunk is in flight — wait for its result instead of
+      // issuing a duplicate backend call).
+      std::vector<ChunkId> lead;
+      std::vector<std::pair<ChunkId, std::shared_ptr<SingleFlight::Slot>>>
+          follow;
+      for (ChunkId chunk : missing) {
+        std::shared_ptr<SingleFlight::Slot> slot =
+            single_flight_->JoinOrLead(CacheKey{gb, chunk});
+        if (slot == nullptr) {
+          lead.push_back(chunk);
+        } else {
+          follow.emplace_back(chunk, std::move(slot));
+        }
+      }
+      // Fetch led chunks FIRST, then wait on followed ones: every led key
+      // is published (or failed) before this thread blocks, so two queries
+      // leading/following each other's chunks cannot deadlock.
+      std::vector<ChunkId> failed =
+          FetchWithRetry(gb, lead, &backend_results, &s);
+      for (const ChunkData& data : backend_results) {
+        single_flight_->Publish(CacheKey{gb, data.chunk}, data);
+      }
+      for (ChunkId chunk : failed) {
+        single_flight_->Fail(CacheKey{gb, chunk});
+      }
+      std::vector<ChunkId> retry_self;
+      for (auto& [chunk, slot] : follow) {
+        ChunkData data;
+        if (single_flight_->Await(*slot, &data)) {
+          ++s.chunks_coalesced;
+          coalesced_results.push_back(std::move(data));
+        } else {
+          // The leader failed; its failure may have been breaker- or
+          // deadline-local, so try once ourselves before giving up.
+          retry_self.push_back(chunk);
+        }
+      }
+      std::vector<ChunkId> still_failed =
+          FetchWithRetry(gb, std::move(retry_self), &backend_results, &s);
+      failed.insert(failed.end(), still_failed.begin(), still_failed.end());
+      result.unavailable = std::move(failed);
+    }
+    s.chunks_backend =
+        static_cast<int64_t>(backend_results.size() + coalesced_results.size());
   }
   s.chunks_unavailable = static_cast<int64_t>(result.unavailable.size());
 
@@ -283,6 +346,9 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
     }
   }
   if (config_.cache_backend_results) {
+    // Only chunks this query fetched itself are inserted: for coalesced
+    // chunks the leading query already inserted them, and re-inserting
+    // would just churn the replacement state.
     for (ChunkData& data : backend_results) {
       const double benefit = benefit_->BackendChunkBenefit(gb, data.chunk);
       cache_->Insert(data, benefit, ChunkSource::kBackend);
@@ -291,6 +357,7 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
   s.update_ms = update_timer.ElapsedMillis();
 
   for (ChunkData& data : backend_results) results.push_back(std::move(data));
+  for (ChunkData& data : coalesced_results) results.push_back(std::move(data));
 
   if (!result.unavailable.empty()) {
     s.status = ResultStatus::kDegradedPartial;

@@ -12,6 +12,7 @@
 #include "core/executor.h"
 #include "core/query.h"
 #include "core/retry_policy.h"
+#include "core/single_flight.h"
 #include "core/strategy.h"
 #include "util/sim_clock.h"
 
@@ -37,6 +38,8 @@ struct QueryStats {
   int64_t chunks_direct = 0;      // present in the cache as-is
   int64_t chunks_aggregated = 0;  // computed by in-cache aggregation
   int64_t chunks_backend = 0;     // fetched from the backend
+  int64_t chunks_coalesced = 0;   // of those, answered by another thread's
+                                  // in-flight fetch (single-flight)
   int64_t chunks_bypassed = 0;    // computable, but backend was cheaper
   int64_t chunks_unavailable = 0; // backend down and not cache-computable
 
@@ -51,7 +54,12 @@ struct QueryStats {
 
   double lookup_ms = 0.0;       // strategy probe + plan construction
   double aggregation_ms = 0.0;  // plan execution (incl. direct reads)
-  double backend_ms = 0.0;      // simulated backend latency (incl. backoff)
+  // Simulated backend latency this query itself was charged: the sum of
+  // per-call BackendResult::charged_nanos plus this query's retry backoff.
+  // Each simulated nanosecond appears in exactly one query's backend_ms,
+  // even when concurrent queries interleave charges on the shared SimClock
+  // (a clock *delta* would absorb other threads' charges and double-count).
+  double backend_ms = 0.0;
   double update_ms = 0.0;       // cache inserts (incl. count/cost upkeep)
 
   /// Completely answered from the cache (directly or by aggregation) —
@@ -152,6 +160,14 @@ class QueryEngine {
   /// The engine's breaker, or nullptr when Config::circuit_breaker is off.
   CircuitBreaker* circuit_breaker() { return breaker_.get(); }
 
+  /// Attaches a single-flight group shared by all engines over the same
+  /// cache: concurrent fetches of the same (gb, chunk) coalesce into one
+  /// backend call. Null (the default) disables coalescing. The group must
+  /// outlive the engine.
+  void set_single_flight(SingleFlight* single_flight) {
+    single_flight_ = single_flight;
+  }
+
  private:
   /// Fetches `missing` chunks with retry/backoff under the breaker.
   /// Successfully fetched chunks are appended to `fetched`; chunk ids that
@@ -172,6 +188,7 @@ class QueryEngine {
   PlanExecutor executor_;
   RetryPolicy retry_;
   std::unique_ptr<CircuitBreaker> breaker_;
+  SingleFlight* single_flight_ = nullptr;
 };
 
 }  // namespace aac

@@ -1,0 +1,55 @@
+#include "core/single_flight.h"
+
+#include "util/check.h"
+
+namespace aac {
+
+std::shared_ptr<SingleFlight::Slot> SingleFlight::JoinOrLead(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = inflight_.find(key);
+  if (it != inflight_.end()) return it->second;
+  inflight_.emplace(key, std::make_shared<Slot>());
+  return nullptr;  // caller leads
+}
+
+std::shared_ptr<SingleFlight::Slot> SingleFlight::Take(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = inflight_.find(key);
+  AAC_CHECK(it != inflight_.end());  // Publish/Fail without JoinOrLead
+  std::shared_ptr<Slot> slot = std::move(it->second);
+  inflight_.erase(it);
+  return slot;
+}
+
+void SingleFlight::Publish(const CacheKey& key, const ChunkData& data) {
+  std::shared_ptr<Slot> slot = Take(key);
+  {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->data = data;
+    slot->ok = true;
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+}
+
+void SingleFlight::Fail(const CacheKey& key) {
+  std::shared_ptr<Slot> slot = Take(key);
+  {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->ok = false;
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+}
+
+bool SingleFlight::Await(Slot& slot, ChunkData* out) {
+  std::unique_lock<std::mutex> lock(slot.mutex);
+  slot.cv.wait(lock, [&] { return slot.done; });
+  if (!slot.ok) return false;
+  *out = slot.data;
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace aac

@@ -1,0 +1,83 @@
+#ifndef AAC_CORE_SINGLE_FLIGHT_H_
+#define AAC_CORE_SINGLE_FLIGHT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cache/cache_entry.h"
+#include "storage/chunk_data.h"
+
+namespace aac {
+
+/// Coalesces concurrent backend fetches of the same chunk (the request
+/// dedup used by inference servers): the first thread to ask for a chunk
+/// becomes its *leader* and performs the real backend fetch; threads that
+/// ask while the fetch is in flight become *followers* and block until the
+/// leader publishes the result, so a thundering herd of cache misses for
+/// one chunk issues exactly one backend call.
+///
+/// Protocol (see QueryEngine's backend phase):
+///   1. `JoinOrLead(key)` — nullptr means the caller leads and MUST later
+///      call exactly one of `Publish(key, data)` or `Fail(key)`; otherwise
+///      the returned slot is awaited with `Await`.
+///   2. The leader fetches, then publishes (or fails) every key it led —
+///      *before* awaiting any slot it follows. Publishing-before-waiting
+///      makes the wait graph acyclic, so the protocol cannot deadlock: a
+///      thread only ever blocks on chunks led by others, and every leader
+///      resolves its own chunks without blocking first.
+///   3. `Await` returns false when the leader's fetch failed; the follower
+///      falls back to its own backend fetch (no re-coalescing for that
+///      chunk this round — bounded work instead of convoy retries).
+///
+/// Publish/Fail remove the in-flight slot, so a later request for the same
+/// key starts a fresh flight (normally it finds the chunk in the cache
+/// first). Thread-safe; one instance is shared by all engines of a
+/// ConcurrentQueryEngine pool.
+class SingleFlight {
+ public:
+  /// One in-flight fetch. Waiters hold a shared_ptr so the slot outlives
+  /// its removal from the in-flight map.
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    ChunkData data;
+  };
+
+  /// Returns nullptr if the caller became the leader for `key` (and must
+  /// later Publish or Fail it), otherwise the slot to Await.
+  std::shared_ptr<Slot> JoinOrLead(const CacheKey& key);
+
+  /// Leader: publishes the fetched chunk to all followers of `key`.
+  void Publish(const CacheKey& key, const ChunkData& data);
+
+  /// Leader: wakes all followers of `key` with a failure.
+  void Fail(const CacheKey& key);
+
+  /// Follower: blocks until the leader resolves the slot. Returns true and
+  /// copies the chunk into `*out` on success (counted in coalesced()),
+  /// false on leader failure.
+  bool Await(Slot& slot, ChunkData* out);
+
+  /// Fetches answered by another thread's backend call (coalesced waits
+  /// that received data).
+  int64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<Slot> Take(const CacheKey& key);
+
+  std::mutex mutex_;
+  std::unordered_map<CacheKey, std::shared_ptr<Slot>, CacheKeyHash> inflight_;
+  std::atomic<int64_t> coalesced_{0};
+};
+
+}  // namespace aac
+
+#endif  // AAC_CORE_SINGLE_FLIGHT_H_

@@ -1,6 +1,7 @@
 #ifndef AAC_CORE_STRATEGY_H_
 #define AAC_CORE_STRATEGY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -12,13 +13,32 @@
 namespace aac {
 
 /// Counters describing lookup work, reset per experiment.
+///
+/// The fields are relaxed atomics so concurrent lookups can bump them
+/// without a data race; copy operations snapshot the values, so existing
+/// value-style uses (`LookupMetrics m = strategy.metrics()`, aggregation
+/// arithmetic) keep working unchanged.
 struct LookupMetrics {
   /// Recursive search/plan-construction calls (the paper's lookup
   /// complexity driver).
-  int64_t nodes_visited = 0;
+  std::atomic<int64_t> nodes_visited{0};
 
   /// Searches that hit a configured exploration budget (ESMC only).
-  int64_t budget_exhausted = 0;
+  std::atomic<int64_t> budget_exhausted{0};
+
+  LookupMetrics() = default;
+  LookupMetrics(const LookupMetrics& other)
+      : nodes_visited(other.nodes_visited.load(std::memory_order_relaxed)),
+        budget_exhausted(
+            other.budget_exhausted.load(std::memory_order_relaxed)) {}
+  LookupMetrics& operator=(const LookupMetrics& other) {
+    nodes_visited.store(other.nodes_visited.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    budget_exhausted.store(
+        other.budget_exhausted.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// A cache-lookup strategy: decides whether a chunk is answerable from the

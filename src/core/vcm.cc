@@ -11,26 +11,38 @@ VcmStrategy::VcmStrategy(const ChunkGrid* grid, const ChunkCache* cache)
       counts_(&indexer_, cache) {
   AAC_CHECK(grid != nullptr);
   AAC_CHECK(cache != nullptr);
+  // Seed the membership mirror from the cache's current contents (setup is
+  // single-threaded; steady state maintains it via the listener hooks).
+  cache->ForEach([&](const CacheEntryInfo& info) {
+    const ChunkData* data = cache->Peek(info.key);
+    if (data != nullptr) {
+      cached_tuples_[info.key] = static_cast<int64_t>(data->tuple_count());
+    }
+  });
 }
 
 bool VcmStrategy::IsComputable(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   // Statement (I) of Algorithm VCM: the count short-circuits everything.
   return counts_.IsComputable(gb, chunk);
 }
 
 std::unique_ptr<PlanNode> VcmStrategy::FindPlan(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   if (!counts_.IsComputable(gb, chunk)) return nullptr;
   return Build(gb, chunk);
 }
 
-// Precondition: (gb, chunk) is computable. Walks the single successful path
-// the counts certify; the paper's "control should never reach here" branch
-// is the final AAC_CHECK.
+// Precondition: (gb, chunk) is computable and the caller holds mutex_
+// (shared), freezing counts_ and cached_tuples_ into a mutually consistent
+// view. Walks the single successful path the counts certify; the paper's
+// "control should never reach here" branch is the final AAC_CHECK.
 std::unique_ptr<PlanNode> VcmStrategy::Build(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
-  if (cache_->Contains({gb, chunk})) {
+  const auto cached = cached_tuples_.find({gb, chunk});
+  if (cached != cached_tuples_.end()) {
     auto leaf = std::make_unique<PlanNode>();
     leaf->key = {gb, chunk};
     leaf->cached = true;
@@ -45,8 +57,8 @@ std::unique_ptr<PlanNode> VcmStrategy::Build(GroupById gb, ChunkId chunk) {
   for (ChunkId pc : grid_->ParentChunkNumbers(gb, chunk, parent)) {
     std::unique_ptr<PlanNode> input = Build(parent, pc);
     cost += input->estimated_cost;
-    const ChunkData* cached = cache_->Peek(input->key);
-    if (cached != nullptr) cost += static_cast<double>(cached->tuple_count());
+    const auto it = cached_tuples_.find(input->key);
+    if (it != cached_tuples_.end()) cost += static_cast<double>(it->second);
     node->inputs.push_back(std::move(input));
   }
   node->estimated_cost = cost;

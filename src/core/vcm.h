@@ -2,7 +2,9 @@
 #define AAC_CORE_VCM_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 
 #include "cache/chunk_cache.h"
 #include "core/strategy.h"
@@ -17,6 +19,16 @@ namespace aac {
 /// and plan construction walks exactly one — guaranteed successful — path.
 /// In exchange, cache inserts and evictions pay the count-maintenance cost,
 /// which the paper shows is small and amortizes well (Table 2).
+///
+/// Concurrency: the count array plus a mirror of the cache's membership
+/// (key -> tuple count, used for plan-cost estimates) live behind one
+/// shared_mutex — lookups take it shared, listener callbacks exclusive, so
+/// the O(1) read path stays cheap. The mirror exists so that lookups never
+/// call back into the cache: listener callbacks run under a cache shard
+/// lock, and the global lock order is "cache shard -> strategy" (see
+/// DESIGN.md, Concurrency model). A plan reflects the strategy's view at
+/// lookup time; the cache may have moved on by execution time, which the
+/// executor tolerates by falling back to the backend.
 class VcmStrategy : public LookupStrategy, public CacheListener {
  public:
   /// `grid` and `cache` must outlive the strategy. Register this object as a
@@ -31,15 +43,23 @@ class VcmStrategy : public LookupStrategy, public CacheListener {
   CacheListener* listener() override { return this; }
   int64_t SpaceOverheadBytes() const override { return counts_.SpaceBytes(); }
 
-  // CacheListener:
-  void OnInsert(const CacheKey& key) override {
+  // CacheListener (invoked under a cache shard lock; never calls the cache):
+  void OnInsert(const CacheKey& key, int64_t tuples) override {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    cached_tuples_[key] = tuples;
     counts_.OnChunkInserted(key.gb, key.chunk);
   }
+  void OnUpdate(const CacheKey& key, int64_t tuples) override {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    cached_tuples_[key] = tuples;
+  }
   void OnEvict(const CacheKey& key) override {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    cached_tuples_.erase(key);
     counts_.OnChunkEvicted(key.gb, key.chunk);
   }
 
-  /// Read access for tests and experiments.
+  /// Read access for tests and experiments (quiesced strategy).
   const VirtualCounts& counts() const { return counts_; }
 
  private:
@@ -48,7 +68,11 @@ class VcmStrategy : public LookupStrategy, public CacheListener {
   const ChunkGrid* grid_;
   const ChunkCache* cache_;
   ChunkIndexer indexer_;
+  mutable std::shared_mutex mutex_;
   VirtualCounts counts_;
+  /// Mirror of cache membership with tuple counts, maintained by the
+  /// listener hooks so Build never reads the cache.
+  std::unordered_map<CacheKey, int64_t, CacheKeyHash> cached_tuples_;
 };
 
 }  // namespace aac

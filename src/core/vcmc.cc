@@ -21,6 +21,13 @@ VcmcStrategy::VcmcStrategy(const ChunkGrid* grid, const ChunkCache* cache,
   AAC_CHECK(grid != nullptr);
   AAC_CHECK(cache != nullptr);
   AAC_CHECK(size_model != nullptr);
+  // Seed the membership mirror from the cache (setup is single-threaded;
+  // the listener hooks maintain it from here on).
+  cached_.assign(static_cast<size_t>(indexer_.size()), 0);
+  cache->ForEach([&](const CacheEntryInfo& info) {
+    cached_[static_cast<size_t>(
+        indexer_.IndexOf(info.key.gb, info.key.chunk))] = 1;
+  });
   auto [costs, parents] = ComputeCostsFromScratch();
   costs_ = std::move(costs);
   best_parents_ = std::move(parents);
@@ -38,14 +45,17 @@ VcmcStrategy::VcmcStrategy(const ChunkGrid* grid, const ChunkCache* cache,
 
 bool VcmcStrategy::IsComputable(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return counts_.IsComputable(gb, chunk);
 }
 
 double VcmcStrategy::CostOf(GroupById gb, ChunkId chunk) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return costs_[static_cast<size_t>(indexer_.IndexOf(gb, chunk))];
 }
 
 int8_t VcmcStrategy::BestParentOf(GroupById gb, ChunkId chunk) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return best_parents_[static_cast<size_t>(indexer_.IndexOf(gb, chunk))];
 }
 
@@ -55,20 +65,27 @@ int64_t VcmcStrategy::SpaceOverheadBytes() const {
          static_cast<int64_t>(best_parents_.size() * sizeof(int8_t));
 }
 
-void VcmcStrategy::OnInsert(const CacheKey& key) {
+void VcmcStrategy::OnInsert(const CacheKey& key, int64_t tuples) {
+  (void)tuples;  // costs use the size model, not actual tuple counts
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  cached_[static_cast<size_t>(indexer_.IndexOf(key.gb, key.chunk))] = 1;
   // Counts first: cost evaluation reads path-completeness from them.
   counts_.OnChunkInserted(key.gb, key.chunk);
   RecomputeAndPropagate(key.gb, key.chunk);
 }
 
 void VcmcStrategy::OnEvict(const CacheKey& key) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  cached_[static_cast<size_t>(indexer_.IndexOf(key.gb, key.chunk))] = 0;
   counts_.OnChunkEvicted(key.gb, key.chunk);
   RecomputeAndPropagate(key.gb, key.chunk);
 }
 
 std::pair<double, int8_t> VcmcStrategy::Evaluate(GroupById gb,
                                                  ChunkId chunk) const {
-  if (cache_->Contains({gb, chunk})) return {0.0, kSelf};
+  if (cached_[static_cast<size_t>(indexer_.IndexOf(gb, chunk))] != 0) {
+    return {0.0, kSelf};
+  }
   const Lattice& lattice = grid_->lattice();
   const auto& parents = lattice.Parents(gb);
   double best_cost = kInf;
@@ -171,12 +188,14 @@ VcmcStrategy::ComputeCostsFromScratch() const {
 
 std::unique_ptr<PlanNode> VcmcStrategy::FindPlan(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   if (!counts_.IsComputable(gb, chunk)) return nullptr;
   return Build(gb, chunk);
 }
 
-// Precondition: computable. Follows the BestParent pointers, so exactly the
-// least-cost plan is constructed.
+// Precondition: computable, and the caller holds mutex_ (shared) so counts,
+// costs and best parents form one consistent view. Follows the BestParent
+// pointers, so exactly the least-cost plan is constructed.
 std::unique_ptr<PlanNode> VcmcStrategy::Build(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
   const size_t idx = static_cast<size_t>(indexer_.IndexOf(gb, chunk));

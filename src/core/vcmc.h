@@ -2,6 +2,7 @@
 #define AAC_CORE_VCMC_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +28,15 @@ namespace aac {
 /// affected chunk's cost and propagates toward aggregated levels while
 /// stored costs keep changing (the paper: updates propagate both when a
 /// chunk becomes newly computable and when its least cost changes).
+///
+/// Concurrency: counts, costs, best parents and a membership bitset sit
+/// behind one shared_mutex (lookups shared, listener callbacks exclusive).
+/// The bitset mirrors cache membership so the steady-state read and
+/// maintenance paths never call back into the cache — listener callbacks
+/// run under a cache shard lock and the global lock order is "cache shard
+/// -> strategy" (DESIGN.md, Concurrency model). `ComputeCostsFromScratch`
+/// is the one exception: it reads the cache directly and is only for
+/// construction and quiesced-cache test oracles.
 class VcmcStrategy : public LookupStrategy, public CacheListener {
  public:
   /// All pointers must outlive the strategy. Register `listener()` on the
@@ -44,8 +54,8 @@ class VcmcStrategy : public LookupStrategy, public CacheListener {
   /// the paper assumed a 4-byte cost, we store doubles).
   int64_t SpaceOverheadBytes() const override;
 
-  // CacheListener:
-  void OnInsert(const CacheKey& key) override;
+  // CacheListener (invoked under a cache shard lock; never calls the cache):
+  void OnInsert(const CacheKey& key, int64_t tuples) override;
   void OnEvict(const CacheKey& key) override;
 
   /// Least cost of computing (gb, chunk) from the cache; +infinity if not
@@ -67,6 +77,7 @@ class VcmcStrategy : public LookupStrategy, public CacheListener {
 
  private:
   /// Recomputes (cost, best parent) of one chunk from current state.
+  /// Caller holds mutex_ (exclusive).
   std::pair<double, int8_t> Evaluate(GroupById gb, ChunkId chunk) const;
 
   /// Re-evaluates the chunk and, while costs keep changing, the affected
@@ -80,7 +91,11 @@ class VcmcStrategy : public LookupStrategy, public CacheListener {
   const ChunkCache* cache_;
   const ChunkSizeModel* size_model_;
   ChunkIndexer indexer_;
+  mutable std::shared_mutex mutex_;
   VirtualCounts counts_;
+  /// Mirror of cache membership (1 = cached), indexed like costs_;
+  /// maintained by the listener hooks so Evaluate never reads the cache.
+  std::vector<uint8_t> cached_;
   std::vector<double> costs_;
   std::vector<int8_t> best_parents_;
   std::vector<int16_t> level_sums_;     // per group-by, for topo ordering

@@ -1,6 +1,7 @@
 #ifndef AAC_UTIL_SIM_CLOCK_H_
 #define AAC_UTIL_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace aac {
@@ -14,25 +15,35 @@ namespace aac {
 /// Experiment harnesses report the sum of real and simulated time, so the
 /// relative shapes of the paper's figures are preserved without an actual
 /// remote database. See DESIGN.md ("Substitutions").
+///
+/// Thread-safe: concurrent query threads all charge into one clock, so the
+/// counter is a relaxed atomic (only the total matters, no ordering). Note
+/// that under concurrency a TotalNanos() delta spans *all* threads' charges;
+/// per-query attribution must use the per-call `BackendResult::charged_nanos`
+/// instead of clock deltas.
 class SimClock {
  public:
   /// Adds `nanos` of simulated elapsed time. Negative charges are invalid
   /// and ignored.
   void Charge(int64_t nanos) {
-    if (nanos > 0) total_nanos_ += nanos;
+    if (nanos > 0) total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
   }
 
   /// Total simulated nanoseconds charged so far.
-  int64_t TotalNanos() const { return total_nanos_; }
+  int64_t TotalNanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
 
   /// Total simulated milliseconds (fractional).
-  double TotalMillis() const { return static_cast<double>(total_nanos_) / 1e6; }
+  double TotalMillis() const {
+    return static_cast<double>(TotalNanos()) / 1e6;
+  }
 
   /// Resets the accumulated time to zero.
-  void Reset() { total_nanos_ = 0; }
+  void Reset() { total_nanos_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t total_nanos_ = 0;
+  std::atomic<int64_t> total_nanos_{0};
 };
 
 }  // namespace aac

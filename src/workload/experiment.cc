@@ -107,7 +107,7 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
       config.cache_fraction *
       static_cast<double>(table_->num_tuples() * config.bytes_per_tuple));
   cache_ = std::make_unique<ChunkCache>(capacity, config.bytes_per_tuple,
-                                        policy_.get());
+                                        policy_.get(), config.cache_shards);
 
   switch (config.strategy) {
     case StrategyKind::kNoAgg:
@@ -148,6 +148,16 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
 PreloadResult Experiment::Preload() {
   Preloader preloader(size_model_.get(), benefit_.get());
   return preloader.Preload(cache_.get(), backend_.get());
+}
+
+std::unique_ptr<QueryEngine> Experiment::NewEngine() {
+  Backend* engine_backend = fault_injector_ != nullptr
+                                ? static_cast<Backend*>(fault_injector_.get())
+                                : static_cast<Backend*>(backend_.get());
+  return std::make_unique<QueryEngine>(&cube_->grid(), cache_.get(),
+                                       strategy_.get(), engine_backend,
+                                       benefit_.get(), clock_.get(),
+                                       config_.engine);
 }
 
 }  // namespace aac

@@ -50,6 +50,11 @@ struct ExperimentConfig {
   /// Logical bytes per cached tuple (paper: 20-byte fact tuples).
   int64_t bytes_per_tuple = 20;
 
+  /// Lock shards for the chunk cache. 1 (the default) reproduces the
+  /// paper's single global replacement state exactly; parallel runs want
+  /// more (e.g. 16) so concurrent queries rarely contend on one shard.
+  int cache_shards = 1;
+
   /// Use exact measured chunk sizes (one aggregation pass per group-by at
   /// setup) instead of the analytic occupancy model. Improves cost-based
   /// path choices on correlated data; see storage/measured_size_model.h.
@@ -117,6 +122,15 @@ class Experiment {
 
   /// Runs the preload rule; returns what was loaded.
   PreloadResult Preload();
+
+  /// Builds a fresh QueryEngine over the experiment's SHARED wiring (grid,
+  /// cache, strategy, backend, benefit model, sim clock) with the same
+  /// engine config — the EngineFactory for a ConcurrentQueryEngine pool.
+  /// Each returned engine carries its own scratch state (aggregator,
+  /// executor, retry, breaker) and so must be used by one thread at a time;
+  /// the shared structures are thread-safe. The Experiment must outlive
+  /// every engine it vends.
+  std::unique_ptr<QueryEngine> NewEngine();
 
  private:
   ExperimentConfig config_;

@@ -1,0 +1,44 @@
+#ifndef AAC_WORKLOAD_PARALLEL_RUNNER_H_
+#define AAC_WORKLOAD_PARALLEL_RUNNER_H_
+
+#include <vector>
+
+#include "core/concurrent_engine.h"
+#include "workload/query_stream.h"
+#include "workload/workload_runner.h"
+
+namespace aac {
+
+/// Thread-pool workload driver: executes the independent queries of a
+/// stream concurrently through a ConcurrentQueryEngine.
+///
+/// Work distribution is dynamic (threads claim the next stream index from
+/// an atomic counter), so long backend-bound queries do not stall the
+/// other workers. Each query's stats land in a per-slot vector indexed by
+/// stream position — no shared mutable accumulator, no lock on the hot
+/// path — and are folded into the totals in stream order after the pool
+/// joins, so the WorkloadTotals counters are deterministic: identical to a
+/// serial run of the same stream over the same starting cache state
+/// whenever query outcomes are order-independent (e.g. a fully warmed
+/// cache). Wall-clock timing fields still vary run to run, like any
+/// timing.
+class ParallelWorkloadRunner {
+ public:
+  /// `engine` must outlive the runner. `num_threads` >= 1.
+  ParallelWorkloadRunner(ConcurrentQueryEngine* engine, int num_threads);
+
+  /// Runs `stream` to completion across the pool. Per-query stats are
+  /// written to `per_query` (indexed by stream position) when non-null.
+  WorkloadTotals Run(const std::vector<QueryStreamEntry>& stream,
+                     std::vector<QueryStats>* per_query = nullptr);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  ConcurrentQueryEngine* engine_;
+  int num_threads_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_WORKLOAD_PARALLEL_RUNNER_H_

@@ -2,6 +2,34 @@
 
 namespace aac {
 
+void AccumulateStats(const QueryStats& stats, WorkloadTotals* totals) {
+  ++totals->queries;
+  totals->complete_hits += stats.complete_hit ? 1 : 0;
+  totals->chunks_requested += stats.chunks_requested;
+  totals->chunks_direct += stats.chunks_direct;
+  totals->chunks_aggregated += stats.chunks_aggregated;
+  totals->chunks_backend += stats.chunks_backend;
+  totals->chunks_coalesced += stats.chunks_coalesced;
+  totals->chunks_unavailable += stats.chunks_unavailable;
+  totals->degraded_complete +=
+      stats.status == ResultStatus::kDegradedComplete ? 1 : 0;
+  totals->degraded_partial +=
+      stats.status == ResultStatus::kDegradedPartial ? 1 : 0;
+  totals->backend_attempts += stats.backend_attempts;
+  totals->backend_retries += stats.backend_retries;
+  totals->breaker_rejected += stats.backend_rejected ? 1 : 0;
+  totals->lookup_ms += stats.lookup_ms;
+  totals->aggregation_ms += stats.aggregation_ms;
+  totals->backend_ms += stats.backend_ms;
+  totals->update_ms += stats.update_ms;
+  if (stats.complete_hit) {
+    ++totals->hit_queries;
+    totals->hit_lookup_ms += stats.lookup_ms;
+    totals->hit_aggregation_ms += stats.aggregation_ms;
+    totals->hit_update_ms += stats.update_ms;
+  }
+}
+
 WorkloadTotals RunWorkload(QueryEngine& engine,
                            const std::vector<QueryStreamEntry>& stream,
                            std::vector<QueryStats>* per_query) {
@@ -9,30 +37,7 @@ WorkloadTotals RunWorkload(QueryEngine& engine,
   for (const QueryStreamEntry& entry : stream) {
     QueryStats stats;
     engine.ExecuteQuery(entry.query, &stats);
-    ++totals.queries;
-    totals.complete_hits += stats.complete_hit ? 1 : 0;
-    totals.chunks_requested += stats.chunks_requested;
-    totals.chunks_direct += stats.chunks_direct;
-    totals.chunks_aggregated += stats.chunks_aggregated;
-    totals.chunks_backend += stats.chunks_backend;
-    totals.chunks_unavailable += stats.chunks_unavailable;
-    totals.degraded_complete +=
-        stats.status == ResultStatus::kDegradedComplete ? 1 : 0;
-    totals.degraded_partial +=
-        stats.status == ResultStatus::kDegradedPartial ? 1 : 0;
-    totals.backend_attempts += stats.backend_attempts;
-    totals.backend_retries += stats.backend_retries;
-    totals.breaker_rejected += stats.backend_rejected ? 1 : 0;
-    totals.lookup_ms += stats.lookup_ms;
-    totals.aggregation_ms += stats.aggregation_ms;
-    totals.backend_ms += stats.backend_ms;
-    totals.update_ms += stats.update_ms;
-    if (stats.complete_hit) {
-      ++totals.hit_queries;
-      totals.hit_lookup_ms += stats.lookup_ms;
-      totals.hit_aggregation_ms += stats.aggregation_ms;
-      totals.hit_update_ms += stats.update_ms;
-    }
+    AccumulateStats(stats, &totals);
     if (per_query != nullptr) per_query->push_back(stats);
   }
   return totals;

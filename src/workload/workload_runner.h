@@ -19,6 +19,8 @@ struct WorkloadTotals {
   int64_t chunks_direct = 0;
   int64_t chunks_aggregated = 0;
   int64_t chunks_backend = 0;
+  int64_t chunks_coalesced = 0;  // backend chunks served by another
+                                 // query's in-flight fetch
   int64_t chunks_unavailable = 0;
 
   // Fault-path outcomes (all zero against a healthy backend).
@@ -65,6 +67,10 @@ struct WorkloadTotals {
                                   static_cast<double>(hit_queries);
   }
 };
+
+/// Folds one query's stats into `totals`. Shared by the serial and
+/// parallel runners so both produce identically-defined totals.
+void AccumulateStats(const QueryStats& stats, WorkloadTotals* totals);
 
 /// Runs `stream` through `engine`, accumulating totals; per-query stats are
 /// appended to `per_query` when non-null.

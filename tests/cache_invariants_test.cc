@@ -42,14 +42,16 @@ void CheckInvariants(const ChunkCache& cache) {
 class CacheInvariantsTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CacheInvariantsTest, RandomOpsPreserveAccounting) {
+  for (const int num_shards : {1, 4}) {
   for (const bool two_level : {false, true}) {
     BenefitPolicy benefit;
     TwoLevelPolicy twolevel;
     const ReplacementPolicy* policy =
         two_level ? static_cast<const ReplacementPolicy*>(&twolevel)
                   : static_cast<const ReplacementPolicy*>(&benefit);
-    ChunkCache cache(600, 10, policy);
-    Rng rng(GetParam() + (two_level ? 500 : 0));
+    ChunkCache cache(600, 10, policy, num_shards);
+    Rng rng(GetParam() + (two_level ? 500 : 0) +
+            static_cast<uint64_t>(num_shards) * 1000);
     std::vector<CacheKey> maybe_cached;
     for (int i = 0; i < 600; ++i) {
       const double op = rng.UniformDouble();
@@ -78,14 +80,19 @@ TEST_P(CacheInvariantsTest, RandomOpsPreserveAccounting) {
           cache.Unpin(key);
         }
       }
-      if (i % 37 == 0) CheckInvariants(cache);
+      if (i % 37 == 0) {
+        CheckInvariants(cache);
+        EXPECT_TRUE(cache.ValidateInvariants());
+      }
     }
     CheckInvariants(cache);
+    EXPECT_TRUE(cache.ValidateInvariants());
     // Stats are internally consistent.
-    const CacheStats& stats = cache.stats();
+    const CacheStats stats = cache.stats();
     EXPECT_EQ(stats.inserts - stats.evictions,
               static_cast<int64_t>(cache.num_entries()));
     EXPECT_GE(stats.hits + stats.misses, 0);
+  }
   }
 }
 

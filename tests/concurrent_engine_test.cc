@@ -18,20 +18,21 @@ class ConcurrentEngineTest : public ::testing::Test {
  protected:
   void SetUp() override {
     env_ = MakeTestEnv(MakeSmallCube(), 0.7, 61, kBigCache,
-                       /*two_level_policy=*/true);
+                       /*two_level_policy=*/true, /*bytes_per_tuple=*/10,
+                       /*num_shards=*/16);
     strategy_ = std::make_unique<VcmcStrategy>(
         env_.cube.grid.get(), env_.cache.get(), env_.size_model.get());
     env_.cache->AddListener(strategy_->listener());
-    engine_ = std::make_unique<QueryEngine>(
-        env_.cube.grid.get(), env_.cache.get(), strategy_.get(),
-        env_.backend.get(), env_.benefit.get(), env_.clock.get(),
-        QueryEngine::Config());
-    concurrent_ = std::make_unique<ConcurrentQueryEngine>(engine_.get());
+    concurrent_ = std::make_unique<ConcurrentQueryEngine>([this] {
+      return std::make_unique<QueryEngine>(
+          env_.cube.grid.get(), env_.cache.get(), strategy_.get(),
+          env_.backend.get(), env_.benefit.get(), env_.clock.get(),
+          QueryEngine::Config());
+    });
   }
 
   TestEnv env_;
   std::unique_ptr<VcmcStrategy> strategy_;
-  std::unique_ptr<QueryEngine> engine_;
   std::unique_ptr<ConcurrentQueryEngine> concurrent_;
 };
 

@@ -38,7 +38,8 @@ struct TestEnv {
 inline TestEnv MakeTestEnv(TestCube cube, double density, uint64_t seed,
                            int64_t capacity_bytes,
                            bool two_level_policy = false,
-                           int64_t bytes_per_tuple = 10) {
+                           int64_t bytes_per_tuple = 10,
+                           int num_shards = 1) {
   TestEnv env;
   env.cube = std::move(cube);
   env.base_cells = RandomBaseCells(env.cube, density, seed);
@@ -56,7 +57,7 @@ inline TestEnv MakeTestEnv(TestCube cube, double density, uint64_t seed,
     env.policy = std::make_unique<BenefitPolicy>();
   }
   env.cache = std::make_unique<ChunkCache>(capacity_bytes, bytes_per_tuple,
-                                           env.policy.get());
+                                           env.policy.get(), num_shards);
   return env;
 }
 

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build and run the full test suite in the
-# plain Release configuration and again with AddressSanitizer + UBSan
-# (-DAAC_SANITIZE=ON). Run from anywhere; builds land in build/ and
-# build-asan/ under the repo root.
+# plain Release configuration, again with AddressSanitizer + UBSan
+# (-DAAC_SANITIZE=ON), and run the concurrency-labeled suite under
+# ThreadSanitizer (-DAAC_SANITIZE=thread). Run from anywhere; builds land
+# in build/, build-asan/ and build-tsan/ under the repo root.
 #
-#   tools/check.sh          # both configurations
+#   tools/check.sh          # all three configurations
 #   tools/check.sh plain    # plain only
-#   tools/check.sh asan     # sanitized only
+#   tools/check.sh asan     # ASan+UBSan only
+#   tools/check.sh tsan     # TSan concurrency suite only
 
 set -euo pipefail
 
@@ -26,6 +28,21 @@ run_config() {
   echo "=== ${name}: OK ==="
 }
 
+# TSan only makes sense for multi-threaded tests, and instruments everything
+# it touches ~10x slower — so the tsan config runs just the tests labeled
+# "concurrency" (the sharded-cache stress, single-flight and parallel-runner
+# suites) instead of the whole tier-1 set.
+run_tsan() {
+  local build_dir="${repo_root}/build-tsan"
+  echo "=== tsan: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE=thread
+  echo "=== tsan: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== tsan: ctest (-L concurrency) ==="
+  (cd "${build_dir}" && ctest -L concurrency --output-on-failure -j "${jobs}")
+  echo "=== tsan: OK ==="
+}
+
 case "${mode}" in
   plain)
     run_config "plain" "${repo_root}/build"
@@ -33,12 +50,16 @@ case "${mode}" in
   asan)
     run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
     ;;
+  tsan)
+    run_tsan
+    ;;
   all)
     run_config "plain" "${repo_root}/build"
     run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
+    run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|all]" >&2
     exit 2
     ;;
 esac
