@@ -1,0 +1,473 @@
+// Rollup-kernel microbenchmark: pre-PR kernel vs the RollupPlan kernel.
+//
+// The "old" side is a faithful replica of the kernel before precomputed
+// ancestor-offset tables landed: per cell it walks the dimension hierarchy
+// level by level (Dimension::ParentValue in a loop, AAC_CHECK per step),
+// zeroes fresh dense State arrays per call, sweeps every target cell on
+// emit, and hashes through std::unordered_map on the sparse path. The
+// "new" side is Aggregator::AggregateSpans (plan cache + fold arena).
+//
+// Cases: dense multi-level rollups (uniform and non-uniform hierarchies),
+// a sparse rollup into a large mostly-empty chunk, and a 1..8 source-span
+// sweep. Results (ns/tuple and speedup) are printed and written to
+// BENCH_rollup.json (override with --out PATH; AAC_BENCH_ROLLUP_REPS
+// rescales). --smoke runs tiny sizes, verifies old == new bit-for-bit and
+// writes no file unless --out is given — the sanitizer gate in
+// tools/check.sh bench-smoke runs exactly that.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/support.h"
+#include "chunks/chunk_grid.h"
+#include "chunks/chunk_layout.h"
+#include "schema/lattice.h"
+#include "schema/schema.h"
+#include "storage/aggregator.h"
+#include "storage/chunk_data.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace aac::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pre-PR kernel replica.
+// ---------------------------------------------------------------------------
+
+struct OldTargetChunkShape {
+  int num_dims = 0;
+  std::array<int32_t, kMaxDims> range_begin{};
+  std::array<int64_t, kMaxDims> stride{};
+  std::array<int32_t, kMaxDims> width{};
+  int64_t cells = 1;
+
+  static OldTargetChunkShape Make(const ChunkGrid& grid, GroupById gb,
+                                  ChunkId chunk) {
+    OldTargetChunkShape s;
+    const LevelVector& lv = grid.lattice().LevelOf(gb);
+    const ChunkCoords coords = grid.CoordsOf(gb, chunk);
+    s.num_dims = grid.schema().num_dims();
+    for (int d = s.num_dims - 1; d >= 0; --d) {
+      auto [vb, ve] =
+          grid.layout(d).ValueRange(lv[d], coords[static_cast<size_t>(d)]);
+      s.range_begin[static_cast<size_t>(d)] = vb;
+      s.width[static_cast<size_t>(d)] = ve - vb;
+      s.stride[static_cast<size_t>(d)] = s.cells;
+      s.cells *= ve - vb;
+    }
+    return s;
+  }
+
+  int64_t OffsetOf(const int32_t* values) const {
+    int64_t off = 0;
+    for (int d = 0; d < num_dims; ++d) {
+      const int32_t rel = values[d] - range_begin[static_cast<size_t>(d)];
+      AAC_CHECK(rel >= 0 && rel < width[static_cast<size_t>(d)]);
+      off += rel * stride[static_cast<size_t>(d)];
+    }
+    return off;
+  }
+
+  void ValuesOf(int64_t offset, int32_t* values) const {
+    for (int d = 0; d < num_dims; ++d) {
+      values[d] = range_begin[static_cast<size_t>(d)] +
+                  static_cast<int32_t>(offset / stride[static_cast<size_t>(d)]);
+      offset %= stride[static_cast<size_t>(d)];
+    }
+  }
+};
+
+constexpr int64_t kDenseCellLimit = int64_t{1} << 22;
+
+ChunkData OldAggregateSpans(const ChunkGrid& grid, GroupById from,
+                            const std::vector<std::span<const Cell>>& spans,
+                            GroupById to, ChunkId chunk) {
+  const Schema& schema = grid.schema();
+  const Lattice& lattice = grid.lattice();
+  const LevelVector& from_lv = lattice.LevelOf(from);
+  const LevelVector& to_lv = lattice.LevelOf(to);
+  const int nd = schema.num_dims();
+  const OldTargetChunkShape shape = OldTargetChunkShape::Make(grid, to, chunk);
+
+  ChunkData out;
+  out.gb = to;
+  out.chunk = chunk;
+  std::vector<Cell>* accumulator = &out.cells;
+
+  // The pre-PR per-cell hierarchy walk: AncestorValue was a ParentValue
+  // loop, one guarded vector lookup per level step.
+  auto map_cell = [&](const Cell& c, std::array<int32_t, kMaxDims>* mapped) {
+    for (int d = 0; d < nd; ++d) {
+      const Dimension& dim = schema.dimension(d);
+      int32_t v = c.values[static_cast<size_t>(d)];
+      for (int l = from_lv[d]; l > to_lv[d]; --l) v = dim.ParentValue(l, v);
+      (*mapped)[static_cast<size_t>(d)] = v;
+    }
+  };
+
+  int64_t incoming = 0;
+  for (const auto& span : spans) incoming += static_cast<int64_t>(span.size());
+
+  const bool use_dense =
+      shape.cells <= kDenseCellLimit &&
+      (shape.cells <= 4096 || shape.cells <= 4 * incoming);
+  struct State {
+    double sum = 0.0;
+    int64_t count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    void Merge(const Cell& c) {
+      sum += c.measure;
+      count += c.count;
+      if (c.min < min) min = c.min;
+      if (c.max > max) max = c.max;
+    }
+  };
+  auto emit = [&shape](int64_t off, const State& s, std::vector<Cell>* dst) {
+    Cell cell;
+    shape.ValuesOf(off, cell.values.data());
+    cell.measure = s.sum;
+    cell.count = s.count;
+    cell.min = s.min;
+    cell.max = s.max;
+    dst->push_back(cell);
+  };
+
+  if (use_dense) {
+    // Fresh multi-MB buffers, zeroed per call — the allocation churn the
+    // fold arena removes.
+    std::vector<State> states(static_cast<size_t>(shape.cells));
+    std::vector<uint8_t> occupied(static_cast<size_t>(shape.cells), 0);
+    std::array<int32_t, kMaxDims> mapped{};
+    for (const auto& span : spans) {
+      for (const Cell& c : span) {
+        map_cell(c, &mapped);
+        const int64_t off = shape.OffsetOf(mapped.data());
+        states[static_cast<size_t>(off)].Merge(c);
+        occupied[static_cast<size_t>(off)] = 1;
+      }
+    }
+    accumulator->clear();
+    // Full sweep over every target cell, occupied or not.
+    for (int64_t off = 0; off < shape.cells; ++off) {
+      if (!occupied[static_cast<size_t>(off)]) continue;
+      emit(off, states[static_cast<size_t>(off)], accumulator);
+    }
+  } else {
+    std::unordered_map<int64_t, State> states;
+    states.reserve(static_cast<size_t>(incoming));
+    std::array<int32_t, kMaxDims> mapped{};
+    for (const auto& span : spans) {
+      for (const Cell& c : span) {
+        map_cell(c, &mapped);
+        states[shape.OffsetOf(mapped.data())].Merge(c);
+      }
+    }
+    accumulator->clear();
+    accumulator->reserve(states.size());
+    for (const auto& [off, state] : states) emit(off, state, accumulator);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bench harness.
+// ---------------------------------------------------------------------------
+
+struct Cube {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<Lattice> lattice;
+  std::vector<std::unique_ptr<DimensionChunkLayout>> layouts;
+  std::unique_ptr<ChunkGrid> grid;
+};
+
+// One chunk per level per dimension (whole level = one chunk): rollup
+// targets then cover full levels, which keeps the arithmetic obvious.
+Cube MakeCube(std::vector<Dimension> dims) {
+  Cube c;
+  c.schema = std::make_unique<Schema>(std::move(dims));
+  c.lattice = std::make_unique<Lattice>(c.schema.get());
+  for (int d = 0; d < c.schema->num_dims(); ++d) {
+    const Dimension& dim = c.schema->dimension(d);
+    std::vector<int32_t> per_level;
+    for (int l = 0; l < dim.num_levels(); ++l) {
+      per_level.push_back(static_cast<int32_t>(dim.cardinality(l)));
+    }
+    c.layouts.push_back(std::make_unique<DimensionChunkLayout>(
+        DimensionChunkLayout::UniformValuesPerChunk(&dim, per_level)));
+  }
+  std::vector<const DimensionChunkLayout*> ptrs;
+  for (const auto& l : c.layouts) ptrs.push_back(l.get());
+  c.grid = std::make_unique<ChunkGrid>(c.lattice.get(), std::move(ptrs));
+  return c;
+}
+
+std::vector<std::vector<Cell>> RandomSpans(const Cube& cube, int num_spans,
+                                           int64_t tuples_per_span,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  const Schema& schema = *cube.schema;
+  const LevelVector& base = schema.base_level();
+  const int nd = schema.num_dims();
+  std::vector<std::vector<Cell>> spans;
+  for (int s = 0; s < num_spans; ++s) {
+    std::vector<Cell> cells;
+    cells.reserve(static_cast<size_t>(tuples_per_span));
+    for (int64_t i = 0; i < tuples_per_span; ++i) {
+      Cell c;
+      for (int d = 0; d < nd; ++d) {
+        c.values[static_cast<size_t>(d)] = static_cast<int32_t>(
+            rng.Uniform(static_cast<uint64_t>(schema.dimension(d).cardinality(base[d]))));
+      }
+      InitCellAggregates(c, static_cast<double>(rng.Uniform(1000)) + 0.5);
+      cells.push_back(c);
+    }
+    spans.push_back(std::move(cells));
+  }
+  return spans;
+}
+
+std::vector<std::span<const Cell>> AsSpans(
+    const std::vector<std::vector<Cell>>& spans) {
+  std::vector<std::span<const Cell>> out;
+  out.reserve(spans.size());
+  for (const auto& s : spans) out.emplace_back(s);
+  return out;
+}
+
+struct CaseResult {
+  std::string name;
+  std::string path;  // "dense" or "sparse" (which fold path the case hits)
+  int num_spans = 0;
+  int64_t tuples = 0;
+  int64_t target_cells = 0;
+  double old_ns_per_tuple = 0.0;
+  double new_ns_per_tuple = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+double MedianNanos(std::vector<int64_t>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return static_cast<double>(samples[samples.size() / 2]);
+}
+
+CaseResult RunCase(const std::string& name, const Cube& cube, GroupById from,
+                   GroupById to, ChunkId chunk,
+                   const std::vector<std::vector<Cell>>& spans, int reps) {
+  const std::vector<std::span<const Cell>> views = AsSpans(spans);
+  int64_t tuples = 0;
+  for (const auto& s : spans) tuples += static_cast<int64_t>(s.size());
+
+  // New kernel: one aggregator for the whole case, as in the engine
+  // (plan cached after the first call, arena recycled).
+  Aggregator agg(cube.grid.get());
+  ChunkData new_out;
+  std::vector<int64_t> new_ns;
+  for (int r = 0; r < reps + 1; ++r) {
+    Stopwatch sw;
+    new_out = agg.AggregateSpans(from, views, to, chunk);
+    if (r > 0) new_ns.push_back(sw.ElapsedNanos());  // rep 0 = warmup
+  }
+
+  ChunkData old_out;
+  std::vector<int64_t> old_ns;
+  for (int r = 0; r < reps + 1; ++r) {
+    Stopwatch sw;
+    old_out = OldAggregateSpans(*cube.grid, from, views, to, chunk);
+    if (r > 0) old_ns.push_back(sw.ElapsedNanos());
+  }
+
+  CaseResult res;
+  res.name = name;
+  res.path = agg.last_fold().used_dense ? "dense" : "sparse";
+  res.num_spans = static_cast<int>(spans.size());
+  res.tuples = tuples;
+  res.target_cells = agg.last_fold().shape_cells;
+  res.old_ns_per_tuple = MedianNanos(old_ns) / static_cast<double>(tuples);
+  res.new_ns_per_tuple = MedianNanos(new_ns) / static_cast<double>(tuples);
+  res.speedup = res.old_ns_per_tuple / res.new_ns_per_tuple;
+  res.identical =
+      ChunkDataEquals(cube.schema->num_dims(), &old_out, &new_out, 0.0);
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: rollup_kernel [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (!smoke && out_path.empty()) out_path = "BENCH_rollup.json";
+
+  const int reps =
+      static_cast<int>(EnvInt64("AAC_BENCH_ROLLUP_REPS", smoke ? 3 : 9));
+  const int64_t scale = smoke ? 10 : 1;  // smoke shrinks tuple counts 10x
+
+  std::vector<CaseResult> results;
+
+  // Dense multi-level rollup, uniform hierarchy: 3 dims of 5 levels
+  // (fanout 2: cards 4..64), base level folded 3 levels up. The per-cell
+  // cost the plan removes is 9 ParentValue walks per tuple.
+  {
+    Cube cube = MakeCube([] {
+      std::vector<Dimension> dims;
+      dims.push_back(Dimension::Uniform("d0", 4, {2, 2, 2, 2}));
+      dims.push_back(Dimension::Uniform("d1", 4, {2, 2, 2, 2}));
+      dims.push_back(Dimension::Uniform("d2", 4, {2, 2, 2, 2}));
+      return dims;
+    }());
+    const GroupById from = cube.lattice->base_id();
+    const GroupById to = cube.lattice->IdOf(LevelVector{1, 1, 1});
+    auto spans = RandomSpans(cube, 4, 60'000 / scale, /*seed=*/7);
+    results.push_back(
+        RunCase("dense_multilevel_uniform", cube, from, to, 0, spans, reps));
+  }
+
+  // Dense multi-level rollup, non-uniform hierarchy (irregular fanouts).
+  {
+    Rng rng(13);
+    auto make_nonuniform = [&rng](const std::string& dim_name, int levels,
+                                  int64_t card0) {
+      std::vector<std::string> names;
+      for (int l = 0; l < levels; ++l) {
+        std::string level_name = "L";
+        level_name += std::to_string(l);
+        names.push_back(std::move(level_name));
+      }
+      std::vector<std::vector<int32_t>> parent_maps;
+      int64_t card = card0;
+      for (int l = 0; l + 1 < levels; ++l) {
+        std::vector<int32_t> pm;
+        for (int32_t p = 0; p < card; ++p) {
+          const int fanout = 1 + static_cast<int>(rng.Uniform(4));  // 1..4
+          for (int k = 0; k < fanout; ++k) pm.push_back(p);
+        }
+        card = static_cast<int64_t>(pm.size());
+        parent_maps.push_back(std::move(pm));
+      }
+      return Dimension(dim_name, std::move(names), card0,
+                       std::move(parent_maps));
+    };
+    Cube cube = MakeCube([&] {
+      std::vector<Dimension> dims;
+      dims.push_back(make_nonuniform("n0", 5, 3));
+      dims.push_back(make_nonuniform("n1", 5, 3));
+      dims.push_back(make_nonuniform("n2", 4, 4));
+      return dims;
+    }());
+    const GroupById from = cube.lattice->base_id();
+    const GroupById to = cube.lattice->IdOf(LevelVector{1, 1, 1});
+    auto spans = RandomSpans(cube, 4, 60'000 / scale, /*seed=*/11);
+    results.push_back(
+        RunCase("dense_multilevel_nonuniform", cube, from, to, 0, spans, reps));
+  }
+
+  // Sparse rollup: one level up into a 32^3-cell chunk with few tuples —
+  // the old kernel's unordered_map path vs the flat open-addressing table.
+  {
+    Cube cube = MakeCube([] {
+      std::vector<Dimension> dims;
+      dims.push_back(Dimension::Uniform("s0", 4, {2, 2, 2, 2}));
+      dims.push_back(Dimension::Uniform("s1", 4, {2, 2, 2, 2}));
+      dims.push_back(Dimension::Uniform("s2", 4, {2, 2, 2, 2}));
+      return dims;
+    }());
+    const GroupById from = cube.lattice->base_id();
+    const GroupById to = cube.lattice->IdOf(LevelVector{3, 3, 3});
+    auto spans = RandomSpans(cube, 2, 2'000 / scale, /*seed=*/23);
+    results.push_back(
+        RunCase("sparse_hash_fold", cube, from, to, 0, spans, reps));
+  }
+
+  // Source-span sweep: the dense uniform case split across 1..8 spans at a
+  // fixed total tuple budget.
+  {
+    Cube cube = MakeCube([] {
+      std::vector<Dimension> dims;
+      dims.push_back(Dimension::Uniform("p0", 4, {2, 2, 2, 2}));
+      dims.push_back(Dimension::Uniform("p1", 4, {2, 2, 2, 2}));
+      dims.push_back(Dimension::Uniform("p2", 4, {2, 2, 2, 2}));
+      return dims;
+    }());
+    const GroupById from = cube.lattice->base_id();
+    const GroupById to = cube.lattice->IdOf(LevelVector{1, 1, 1});
+    const int64_t total = 96'000 / scale;
+    for (int num_spans : {1, 2, 4, 8}) {
+      auto spans =
+          RandomSpans(cube, num_spans, total / num_spans, /*seed=*/31);
+      results.push_back(RunCase("span_sweep_" + std::to_string(num_spans),
+                                cube, from, to, 0, spans, reps));
+    }
+  }
+
+  // Report.
+  std::printf(
+      "%-28s %-7s %6s %9s %11s %12s %12s %8s %5s\n", "case", "path", "spans",
+      "tuples", "cells", "old_ns/tup", "new_ns/tup", "speedup", "same");
+  bool all_identical = true;
+  for (const CaseResult& r : results) {
+    all_identical = all_identical && r.identical;
+    std::printf("%-28s %-7s %6d %9lld %11lld %12.2f %12.2f %7.2fx %5s\n",
+                r.name.c_str(), r.path.c_str(), r.num_spans,
+                static_cast<long long>(r.tuples),
+                static_cast<long long>(r.target_cells), r.old_ns_per_tuple,
+                r.new_ns_per_tuple, r.speedup, r.identical ? "yes" : "NO");
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: old and new kernels disagree on at least one case\n");
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"rollup_kernel\",\n  \"reps\": %d,\n",
+                 reps);
+    std::fprintf(f, "  \"smoke\": %s,\n  \"cases\": [\n",
+                 smoke ? "true" : "false");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const CaseResult& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"case\": \"%s\", \"path\": \"%s\", \"spans\": %d, "
+          "\"tuples\": %lld, \"target_cells\": %lld, "
+          "\"old_ns_per_tuple\": %.2f, \"new_ns_per_tuple\": %.2f, "
+          "\"speedup\": %.2f, \"identical\": %s}%s\n",
+          r.name.c_str(), r.path.c_str(), r.num_spans,
+          static_cast<long long>(r.tuples),
+          static_cast<long long>(r.target_cells), r.old_ns_per_tuple,
+          r.new_ns_per_tuple, r.speedup, r.identical ? "true" : "false",
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aac::bench
+
+int main(int argc, char** argv) { return aac::bench::Main(argc, argv); }

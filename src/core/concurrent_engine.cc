@@ -25,6 +25,7 @@ std::unique_ptr<QueryEngine> ConcurrentQueryEngine::Borrow() {
   std::unique_ptr<QueryEngine> engine = factory_();
   AAC_CHECK(engine != nullptr);
   engine->set_single_flight(&single_flight_);
+  engine->set_rollup_plan_cache(&rollup_plans_);
   return engine;
 }
 

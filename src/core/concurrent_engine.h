@@ -26,7 +26,9 @@ namespace aac {
 /// only for the borrow/return pointer swaps, never across a query.
 ///
 /// All pooled engines share one SingleFlight group, so concurrent fetches
-/// of the same (group-by, chunk) collapse into a single backend call.
+/// of the same (group-by, chunk) collapse into a single backend call, and
+/// one RollupPlanCache, so ancestor-offset tables for the rollup kernel are
+/// built once per (from, to, chunk) instead of once per engine.
 class ConcurrentQueryEngine {
  public:
   /// Builds one engine wired to the shared cache/strategy/backend. Must be
@@ -55,12 +57,16 @@ class ConcurrentQueryEngine {
   /// The shared fetch-coalescing group (e.g. for coalesced() reporting).
   SingleFlight& single_flight() { return single_flight_; }
 
+  /// The shared rollup-plan cache (hit/miss stats, manual Clear()).
+  RollupPlanCache& rollup_plan_cache() { return rollup_plans_; }
+
  private:
   std::unique_ptr<QueryEngine> Borrow();
   void Return(std::unique_ptr<QueryEngine> engine);
 
   EngineFactory factory_;
   SingleFlight single_flight_;
+  RollupPlanCache rollup_plans_;
   mutable std::mutex pool_mutex_;  // guards idle_ and engines_created_
   std::vector<std::unique_ptr<QueryEngine>> idle_;
   int64_t engines_created_ = 0;

@@ -18,6 +18,7 @@ PlanExecutor::PlanExecutor(const ChunkGrid* grid, ChunkCache* cache,
 ExecutionResult PlanExecutor::Execute(const PlanNode& plan) {
   ExecutionResult result;
   const int64_t before = aggregator_->tuples_processed();
+  const int64_t fold_before = aggregator_->fold_nanos();
   std::vector<CacheKey> pinned;
   bool ok = true;
   ChunkData out = ExecuteNode(plan, &result, &pinned, &ok);
@@ -25,6 +26,7 @@ ExecutionResult PlanExecutor::Execute(const PlanNode& plan) {
   // one sweep — including the unwind path when a leaf went missing.
   for (const CacheKey& key : pinned) cache_->Unpin(key);
   result.tuples_aggregated = aggregator_->tuples_processed() - before;
+  result.fold_ns = aggregator_->fold_nanos() - fold_before;
   result.ok = ok;
   if (ok) result.data = std::move(out);
   return result;

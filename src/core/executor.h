@@ -23,6 +23,10 @@ struct ExecutionResult {
   /// (not estimated) linear aggregation cost.
   int64_t tuples_aggregated = 0;
 
+  /// Wall-clock nanoseconds the plan spent inside the rollup kernel (plan
+  /// lookup + fold + emit), a subset of the query's aggregation phase.
+  int64_t fold_ns = 0;
+
   /// The distinct cached chunks the plan read; the two-level policy boosts
   /// this group's clock values (paper Section 6.3, rule 2).
   std::vector<CacheKey> cached_inputs;

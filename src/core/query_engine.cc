@@ -262,6 +262,7 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
       continue;
     }
     s.tuples_aggregated += exec.tuples_aggregated;
+    s.fold_ns += exec.fold_ns;
     computed.push_back(ComputedInfo{results.size(), exec.tuples_aggregated,
                                     std::move(exec.cached_inputs)});
     results.push_back(std::move(exec.data));

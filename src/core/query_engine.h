@@ -44,6 +44,9 @@ struct QueryStats {
   int64_t chunks_unavailable = 0; // backend down and not cache-computable
 
   int64_t tuples_aggregated = 0;  // in-cache aggregation work
+  int64_t fold_ns = 0;            // time inside the rollup kernel (plan
+                                  // lookup + fold + emit), a subset of
+                                  // aggregation_ms
 
   // Fault-path accounting.
   int64_t backend_attempts = 0;   // backend calls issued for this query
@@ -167,6 +170,17 @@ class QueryEngine {
   void set_single_flight(SingleFlight* single_flight) {
     single_flight_ = single_flight;
   }
+
+  /// Shares a rollup-plan cache across engines of a pool so ancestor-offset
+  /// tables are built once per (from, to, chunk) instead of once per
+  /// engine. Null restores the engine's private cache; the cache must
+  /// outlive the engine. See Aggregator::set_plan_cache.
+  void set_rollup_plan_cache(RollupPlanCache* cache) {
+    aggregator_.set_plan_cache(cache);
+  }
+
+  /// This engine's aggregator (fold counters, plan-cache stats).
+  const Aggregator& aggregator() const { return aggregator_; }
 
  private:
   /// Fetches `missing` chunks with retry/backoff under the breaker.

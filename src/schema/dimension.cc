@@ -38,6 +38,30 @@ Dimension::Dimension(std::string name, std::vector<std::string> level_names,
       if (begins[v] < begins[v - 1]) begins[v] = begins[v - 1];
     }
   }
+
+  BuildAncestorTables();
+}
+
+void Dimension::BuildAncestorTables() {
+  // ancestor_tables_[l][t]: level-l value -> level-t ancestor, for t < l.
+  // Built top-down so table (l, t) composes the direct parent map with the
+  // already-flattened (l-1, t) table — O(levels^2 * cardinality) total.
+  ancestor_tables_.resize(static_cast<size_t>(num_levels()));
+  for (int l = 1; l < num_levels(); ++l) {
+    auto& tables = ancestor_tables_[static_cast<size_t>(l)];
+    tables.resize(static_cast<size_t>(l));
+    tables[static_cast<size_t>(l - 1)] = parent_maps_[static_cast<size_t>(l - 1)];
+    for (int t = l - 2; t >= 0; --t) {
+      const auto& parent = parent_maps_[static_cast<size_t>(l - 1)];
+      const auto& up = ancestor_tables_[static_cast<size_t>(l - 1)]
+                                       [static_cast<size_t>(t)];
+      auto& table = tables[static_cast<size_t>(t)];
+      table.resize(parent.size());
+      for (size_t v = 0; v < parent.size(); ++v) {
+        table[v] = up[static_cast<size_t>(parent[v])];
+      }
+    }
+  }
 }
 
 Dimension Dimension::Uniform(std::string name, int64_t cardinality_level0,
@@ -87,9 +111,20 @@ int32_t Dimension::ParentValue(int level, int32_t value) const {
 int32_t Dimension::AncestorValue(int level, int32_t value,
                                  int target_level) const {
   AAC_CHECK_LE(target_level, level);
-  int32_t v = value;
-  for (int l = level; l > target_level; --l) v = ParentValue(l, v);
-  return v;
+  if (target_level == level) return value;
+  AAC_CHECK(level < num_levels() && target_level >= 0);
+  AAC_DCHECK(value >= 0 && value < cardinality(level));
+  return ancestor_tables_[static_cast<size_t>(level)]
+                         [static_cast<size_t>(target_level)]
+                         [static_cast<size_t>(value)];
+}
+
+std::span<const int32_t> Dimension::AncestorTable(int level,
+                                                  int target_level) const {
+  AAC_CHECK(level >= 1 && level < num_levels());
+  AAC_CHECK(target_level >= 0 && target_level < level);
+  return ancestor_tables_[static_cast<size_t>(level)]
+                         [static_cast<size_t>(target_level)];
 }
 
 std::pair<int32_t, int32_t> Dimension::ChildRange(int level,
@@ -99,6 +134,18 @@ std::pair<int32_t, int32_t> Dimension::ChildRange(int level,
   const auto& begins = child_begins_[static_cast<size_t>(level)];
   return {begins[static_cast<size_t>(value)],
           begins[static_cast<size_t>(value) + 1]};
+}
+
+std::pair<int32_t, int32_t> Dimension::DescendantValueRange(
+    int level, int32_t value, int target_level) const {
+  AAC_CHECK(level >= 0 && level < num_levels());
+  AAC_CHECK(target_level >= level && target_level < num_levels());
+  std::pair<int32_t, int32_t> range{value, value + 1};
+  for (int l = level; l < target_level; ++l) {
+    range.first = ChildRange(l, range.first).first;
+    range.second = ChildRange(l, range.second - 1).second;
+  }
+  return range;
 }
 
 void Dimension::Validate() const {

@@ -2,7 +2,9 @@
 #define AAC_SCHEMA_DIMENSION_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace aac {
@@ -52,12 +54,25 @@ class Dimension {
   /// Ancestor value at `target_level` (<= level) of `value` at `level`.
   int32_t AncestorValue(int level, int32_t value, int target_level) const;
 
+  /// Flattened ancestor map for one level pair: entry `v` is
+  /// `AncestorValue(level, v, target_level)`, precomputed at construction
+  /// for every `target_level < level`. The rollup kernel's plan builder
+  /// reads these instead of walking parent maps per cell; requires
+  /// `0 <= target_level < level < num_levels()`.
+  std::span<const int32_t> AncestorTable(int level, int target_level) const;
+
   /// Contiguous range [begin, end) of child values at `level + 1` of `value`
   /// at `level`.
   std::pair<int32_t, int32_t> ChildRange(int level, int32_t value) const;
 
+  /// Contiguous range [begin, end) of descendant values at `target_level`
+  /// (>= level) of `value` at `level`; identity range when equal.
+  std::pair<int32_t, int32_t> DescendantValueRange(int level, int32_t value,
+                                                   int target_level) const;
+
  private:
   void Validate() const;
+  void BuildAncestorTables();
 
   std::string name_;
   std::vector<std::string> level_names_;
@@ -66,6 +81,9 @@ class Dimension {
   std::vector<std::vector<int32_t>> child_begins_;  // [l] prefix: children of
                                                     // value v at level l start
                                                     // at child_begins_[l][v]
+  // ancestor_tables_[l][t] maps each value at level l to its ancestor at
+  // level t (t < l); the multi-level parent walk flattened to one lookup.
+  std::vector<std::vector<std::vector<int32_t>>> ancestor_tables_;
 };
 
 }  // namespace aac

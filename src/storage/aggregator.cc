@@ -1,66 +1,32 @@
 #include "storage/aggregator.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace aac {
 
 namespace {
 
-// Context for mapping a source cell to its local offset within the target
-// chunk (mixed radix over the per-dimension positions inside the chunk's
-// value ranges).
-struct TargetChunkShape {
-  int num_dims = 0;
-  std::array<int32_t, kMaxDims> range_begin{};
-  std::array<int64_t, kMaxDims> stride{};
-  std::array<int32_t, kMaxDims> width{};
-  int64_t cells = 1;
-
-  static TargetChunkShape Make(const ChunkGrid& grid, GroupById gb,
-                               ChunkId chunk) {
-    TargetChunkShape s;
-    const LevelVector& lv = grid.lattice().LevelOf(gb);
-    const ChunkCoords coords = grid.CoordsOf(gb, chunk);
-    s.num_dims = grid.schema().num_dims();
-    for (int d = s.num_dims - 1; d >= 0; --d) {
-      auto [vb, ve] = grid.layout(d).ValueRange(lv[d], coords[static_cast<size_t>(d)]);
-      s.range_begin[static_cast<size_t>(d)] = vb;
-      s.width[static_cast<size_t>(d)] = ve - vb;
-      s.stride[static_cast<size_t>(d)] = s.cells;
-      s.cells *= ve - vb;
-    }
-    return s;
-  }
-
-  int64_t OffsetOf(const int32_t* values) const {
-    int64_t off = 0;
-    for (int d = 0; d < num_dims; ++d) {
-      const int32_t rel = values[d] - range_begin[static_cast<size_t>(d)];
-      // Always-on: a cell outside the target chunk would otherwise corrupt
-      // the fold arrays.
-      AAC_CHECK(rel >= 0 && rel < width[static_cast<size_t>(d)]);
-      off += rel * stride[static_cast<size_t>(d)];
-    }
-    return off;
-  }
-
-  void ValuesOf(int64_t offset, int32_t* values) const {
-    for (int d = 0; d < num_dims; ++d) {
-      values[d] = range_begin[static_cast<size_t>(d)] +
-                  static_cast<int32_t>(offset / stride[static_cast<size_t>(d)]);
-      offset %= stride[static_cast<size_t>(d)];
-    }
-  }
-};
-
-// Above this cell count, fold into a hash map instead of a dense array.
+// Above this cell count, fold into the flat sparse table instead of the
+// dense array.
 constexpr int64_t kDenseCellLimit = int64_t{1} << 22;
+
+Cell MakeCell(const RollupPlan& plan, int64_t off, const FoldState& s) {
+  Cell cell;
+  plan.ValuesOf(off, cell.values.data());
+  cell.measure = s.sum;
+  cell.count = s.count;
+  cell.min = s.min;
+  cell.max = s.max;
+  return cell;
+}
 
 }  // namespace
 
-Aggregator::Aggregator(const ChunkGrid* grid) : grid_(grid) {
+Aggregator::Aggregator(const ChunkGrid* grid)
+    : grid_(grid), plan_cache_(&owned_plan_cache_) {
   AAC_CHECK(grid_ != nullptr);
 }
 
@@ -89,107 +55,91 @@ ChunkData Aggregator::AggregateSpans(
   ChunkData out;
   out.gb = to;
   out.chunk = chunk;
-  FoldSpans(from, spans, to, chunk, &out.cells);
+  Stopwatch fold_timer;
+  std::shared_ptr<const RollupPlan> plan =
+      plan_cache_->Get(*grid_, from, to, chunk);
+  FoldSpans(*plan, spans, &out.cells);
+  fold_nanos_ += fold_timer.ElapsedNanos();
   for (const auto& span : spans) {
     tuples_processed_ += static_cast<int64_t>(span.size());
   }
   return out;
 }
 
-void Aggregator::FoldSpans(GroupById from,
+void Aggregator::FoldSpans(const RollupPlan& plan,
                            const std::vector<std::span<const Cell>>& spans,
-                           GroupById to, ChunkId chunk,
-                           std::vector<Cell>* accumulator) const {
-  const Schema& schema = grid_->schema();
-  const Lattice& lattice = grid_->lattice();
-  const LevelVector& from_lv = lattice.LevelOf(from);
-  const LevelVector& to_lv = lattice.LevelOf(to);
-  const int nd = schema.num_dims();
-  const TargetChunkShape shape = TargetChunkShape::Make(*grid_, to, chunk);
-
+                           std::vector<Cell>* accumulator) {
   // Existing accumulator cells participate in the fold so repeated calls
   // (one per source chunk) combine correctly.
-  auto map_cell = [&](const Cell& c, std::array<int32_t, kMaxDims>* mapped) {
-    for (int d = 0; d < nd; ++d) {
-      (*mapped)[static_cast<size_t>(d)] = schema.dimension(d).AncestorValue(
-          from_lv[d], c.values[static_cast<size_t>(d)], to_lv[d]);
-    }
-  };
-
   int64_t incoming = static_cast<int64_t>(accumulator->size());
   for (const auto& span : spans) incoming += static_cast<int64_t>(span.size());
 
-  // Dense folding costs O(target cells) regardless of how few tuples land
-  // in the chunk; only use it when the chunk is small or reasonably full,
-  // otherwise hash (sparse chunks at detailed levels would pay megabytes of
-  // zeroing for a handful of tuples).
+  // Dense folding writes O(touched cells) thanks to the arena's
+  // touched-offset list, but still needs O(target cells) of resident
+  // scratch; only use it when the chunk is small or reasonably full,
+  // otherwise fold into the flat sparse table.
   const bool use_dense =
-      shape.cells <= kDenseCellLimit &&
-      (shape.cells <= 4096 || shape.cells <= 4 * incoming);
-  // Aggregate state folded per target cell (sum/count/min/max merge
-  // cell-wise; see storage/tuple.h).
-  struct State {
-    double sum = 0.0;
-    int64_t count = 0;
-    double min = std::numeric_limits<double>::infinity();
-    double max = -std::numeric_limits<double>::infinity();
-    void Merge(const Cell& c) {
-      sum += c.measure;
-      count += c.count;
-      if (c.min < min) min = c.min;
-      if (c.max > max) max = c.max;
-    }
-  };
-  auto emit = [&shape](int64_t off, const State& s, std::vector<Cell>* out) {
-    Cell cell;
-    shape.ValuesOf(off, cell.values.data());
-    cell.measure = s.sum;
-    cell.count = s.count;
-    cell.min = s.min;
-    cell.max = s.max;
-    out->push_back(cell);
-  };
+      plan.cells <= kDenseCellLimit &&
+      (plan.cells <= 4096 || plan.cells <= 4 * incoming);
+
+  last_fold_ = FoldInfo();
+  last_fold_.used_dense = use_dense;
+  last_fold_.shape_cells = plan.cells;
 
   if (use_dense) {
-    std::vector<State> states(static_cast<size_t>(shape.cells));
-    std::vector<uint8_t> occupied(static_cast<size_t>(shape.cells), 0);
+    arena_.EnsureDense(plan.cells);
+    FoldState* states = arena_.dense_states();
+    uint8_t* occupied = arena_.dense_occupied();
+    std::vector<int64_t>& touched = arena_.touched();
     for (const Cell& c : *accumulator) {
-      const int64_t off = shape.OffsetOf(c.values.data());
-      states[static_cast<size_t>(off)].Merge(c);
-      occupied[static_cast<size_t>(off)] = 1;
-    }
-    std::array<int32_t, kMaxDims> mapped{};
-    for (const auto& span : spans) {
-      for (const Cell& c : span) {
-        map_cell(c, &mapped);
-        const int64_t off = shape.OffsetOf(mapped.data());
-        states[static_cast<size_t>(off)].Merge(c);
+      const int64_t off = plan.TargetOffsetOf(c.values.data());
+      if (!occupied[static_cast<size_t>(off)]) {
         occupied[static_cast<size_t>(off)] = 1;
+        touched.push_back(off);
       }
+      states[static_cast<size_t>(off)].Merge(c);
     }
-    accumulator->clear();
-    for (int64_t off = 0; off < shape.cells; ++off) {
-      if (!occupied[static_cast<size_t>(off)]) continue;
-      emit(off, states[static_cast<size_t>(off)], accumulator);
-    }
-  } else {
-    std::unordered_map<int64_t, State> states;
-    states.reserve(accumulator->size() + static_cast<size_t>(incoming));
-    for (const Cell& c : *accumulator) {
-      states[shape.OffsetOf(c.values.data())].Merge(c);
-    }
-    std::array<int32_t, kMaxDims> mapped{};
     for (const auto& span : spans) {
       for (const Cell& c : span) {
-        map_cell(c, &mapped);
-        states[shape.OffsetOf(mapped.data())].Merge(c);
+        const int64_t off = plan.SourceOffsetOf(c.values.data());
+        if (!occupied[static_cast<size_t>(off)]) {
+          occupied[static_cast<size_t>(off)] = 1;
+          touched.push_back(off);
+        }
+        states[static_cast<size_t>(off)].Merge(c);
+      }
+    }
+    // Emit in offset order (canonical row-major), iterating only the
+    // touched offsets — a handful of cells in a 4096-cell chunk no longer
+    // pays a full sweep.
+    std::sort(touched.begin(), touched.end());
+    accumulator->clear();
+    accumulator->reserve(touched.size());
+    for (int64_t off : touched) {
+      accumulator->push_back(
+          MakeCell(plan, off, states[static_cast<size_t>(off)]));
+    }
+    last_fold_.cells_touched = static_cast<int64_t>(touched.size());
+    last_fold_.emit_iterations = static_cast<int64_t>(touched.size());
+    arena_.ResetDense();
+  } else {
+    SparseFoldTable& table = arena_.sparse();
+    table.Reset(incoming);
+    for (const Cell& c : *accumulator) {
+      table.Slot(plan.TargetOffsetOf(c.values.data())).Merge(c);
+    }
+    for (const auto& span : spans) {
+      for (const Cell& c : span) {
+        table.Slot(plan.SourceOffsetOf(c.values.data())).Merge(c);
       }
     }
     accumulator->clear();
-    accumulator->reserve(states.size());
-    for (const auto& [off, state] : states) {
-      emit(off, state, accumulator);
-    }
+    accumulator->reserve(static_cast<size_t>(table.size()));
+    table.ForEach([&](int64_t off, const FoldState& s) {
+      accumulator->push_back(MakeCell(plan, off, s));
+    });
+    last_fold_.cells_touched = table.size();
+    last_fold_.emit_iterations = table.size();
   }
 }
 

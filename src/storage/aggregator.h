@@ -7,6 +7,7 @@
 
 #include "chunks/chunk_grid.h"
 #include "storage/chunk_data.h"
+#include "storage/rollup_plan.h"
 #include "storage/tuple.h"
 
 namespace aac {
@@ -18,6 +19,13 @@ namespace aac {
 /// running this in the middle tier is roughly 8x faster than re-asking the
 /// backend. The aggregator also counts the tuples it processes, which is the
 /// paper's linear cost metric for comparing aggregation paths.
+///
+/// The rollup kernel runs off precomputed RollupPlans (ancestor→offset
+/// tables, cached per (from, to, chunk) — shareable across an engine pool
+/// via set_plan_cache) and folds into a reusable per-aggregator FoldArena,
+/// so the steady-state inner loop is one table load and one add per
+/// dimension with no per-call allocation. The aggregator itself is not
+/// thread-safe (arena + counters); the plan cache is.
 class Aggregator {
  public:
   /// `grid` must outlive the aggregator.
@@ -46,16 +54,53 @@ class Aggregator {
   /// aggregation cost of the paper's Section 5.
   int64_t tuples_processed() const { return tuples_processed_; }
 
-  /// Resets the tuples_processed() counter.
-  void ResetCounters() { tuples_processed_ = 0; }
+  /// Cumulative wall-clock nanoseconds spent in the rollup kernel (plan
+  /// lookup + fold + emit) — the `fold_ns` component of per-query stats.
+  int64_t fold_nanos() const { return fold_nanos_; }
+
+  /// Resets the tuples_processed() and fold_nanos() counters.
+  void ResetCounters() {
+    tuples_processed_ = 0;
+    fold_nanos_ = 0;
+  }
+
+  /// Shares `cache` as the rollup-plan cache (e.g. one cache for a whole
+  /// engine pool). Null restores the aggregator's private cache. The cache
+  /// must outlive the aggregator and must only ever be used with this
+  /// aggregator's grid.
+  void set_plan_cache(RollupPlanCache* cache) {
+    plan_cache_ = cache != nullptr ? cache : &owned_plan_cache_;
+  }
+
+  /// The plan cache currently in use (private by default).
+  const RollupPlanCache& plan_cache() const { return *plan_cache_; }
+
+  /// Debug/test introspection of the most recent fold.
+  struct FoldInfo {
+    bool used_dense = false;
+    int64_t shape_cells = 0;      // target chunk capacity
+    int64_t cells_touched = 0;    // distinct target cells written
+    int64_t emit_iterations = 0;  // emit-loop iterations (== cells_touched;
+                                  // the dense emit no longer sweeps
+                                  // shape_cells)
+  };
+  const FoldInfo& last_fold() const { return last_fold_; }
+
+  /// Dense scratch capacity currently retained by the fold arena.
+  int64_t arena_dense_capacity() const { return arena_.dense_capacity(); }
 
  private:
-  void FoldSpans(GroupById from,
-                 const std::vector<std::span<const Cell>>& spans, GroupById to,
-                 ChunkId chunk, std::vector<Cell>* accumulator) const;
+  void FoldSpans(const RollupPlan& plan,
+                 const std::vector<std::span<const Cell>>& spans,
+                 std::vector<Cell>* accumulator);
 
   const ChunkGrid* grid_;
+  RollupPlanCache owned_plan_cache_;
+  RollupPlanCache* plan_cache_;
+  FoldArena arena_;
+  FoldInfo last_fold_;
   int64_t tuples_processed_ = 0;
+  int64_t fold_nanos_ = 0;
 };
 
 }  // namespace aac

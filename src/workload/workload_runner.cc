@@ -20,6 +20,7 @@ void AccumulateStats(const QueryStats& stats, WorkloadTotals* totals) {
   totals->breaker_rejected += stats.backend_rejected ? 1 : 0;
   totals->lookup_ms += stats.lookup_ms;
   totals->aggregation_ms += stats.aggregation_ms;
+  totals->fold_ms += static_cast<double>(stats.fold_ns) / 1e6;
   totals->backend_ms += stats.backend_ms;
   totals->update_ms += stats.update_ms;
   if (stats.complete_hit) {

@@ -32,6 +32,7 @@ struct WorkloadTotals {
 
   double lookup_ms = 0.0;
   double aggregation_ms = 0.0;
+  double fold_ms = 0.0;  // rollup-kernel time, a subset of aggregation_ms
   double backend_ms = 0.0;
   double update_ms = 0.0;
 

@@ -5,10 +5,12 @@
 # ThreadSanitizer (-DAAC_SANITIZE=thread). Run from anywhere; builds land
 # in build/, build-asan/ and build-tsan/ under the repo root.
 #
-#   tools/check.sh          # all three configurations
-#   tools/check.sh plain    # plain only
-#   tools/check.sh asan     # ASan+UBSan only
-#   tools/check.sh tsan     # TSan concurrency suite only
+#   tools/check.sh             # all three configurations
+#   tools/check.sh plain       # plain only
+#   tools/check.sh asan        # ASan+UBSan only
+#   tools/check.sh tsan        # TSan concurrency suite only
+#   tools/check.sh bench-smoke # rollup-kernel smoke + kernel suite under
+#                              # ASan+UBSan and TSan
 
 set -euo pipefail
 
@@ -43,6 +45,24 @@ run_tsan() {
   echo "=== tsan: OK ==="
 }
 
+# Sanitized gate for the rollup kernel: build the rollup_kernel bench and
+# the "kernel"-labeled tests under ASan+UBSan and TSan, run the bench in
+# --smoke mode (tiny sizes; exits nonzero if the plan kernel and the naive
+# reference kernel disagree on any cell) and the kernel test label.
+run_bench_smoke() {
+  local name="$1" build_dir="$2" sanitize="$3"
+  echo "=== bench-smoke/${name}: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  echo "=== bench-smoke/${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}" --target rollup_kernel \
+    aggregator_test rollup_plan_test
+  echo "=== bench-smoke/${name}: rollup_kernel --smoke ==="
+  "${build_dir}/bench/rollup_kernel" --smoke
+  echo "=== bench-smoke/${name}: ctest (-L kernel) ==="
+  (cd "${build_dir}" && ctest -L kernel --output-on-failure -j "${jobs}")
+  echo "=== bench-smoke/${name}: OK ==="
+}
+
 case "${mode}" in
   plain)
     run_config "plain" "${repo_root}/build"
@@ -53,13 +73,17 @@ case "${mode}" in
   tsan)
     run_tsan
     ;;
+  bench-smoke)
+    run_bench_smoke "asan+ubsan" "${repo_root}/build-asan" ON
+    run_bench_smoke "tsan" "${repo_root}/build-tsan" thread
+    ;;
   all)
     run_config "plain" "${repo_root}/build"
     run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
     run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|bench-smoke|all]" >&2
     exit 2
     ;;
 esac
