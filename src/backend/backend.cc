@@ -26,7 +26,7 @@ BackendServer::BackendServer(const FactTable* table,
 
 BackendResult BackendServer::ExecuteChunkQuery(
     GroupById gb, const std::vector<ChunkId>& chunks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const ChunkGrid& grid = table_->grid();
   const GroupById base = table_->base_gb();
   BackendResult result;

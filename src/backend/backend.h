@@ -2,7 +2,6 @@
 #define AAC_BACKEND_BACKEND_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "backend/cost_model.h"
@@ -10,7 +9,9 @@
 #include "storage/aggregator.h"
 #include "storage/chunk_data.h"
 #include "storage/fact_table.h"
+#include "util/mutex.h"
 #include "util/sim_clock.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -108,8 +109,17 @@ class BackendServer : public Backend {
                 SimClock* clock);
 
   const BackendCostModel& cost_model() const override { return model_; }
-  const BackendStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BackendStats(); }
+
+  /// Snapshot of the activity counters (by value: a reference would race
+  /// with concurrent ExecuteChunkQuery calls updating them).
+  BackendStats stats() const {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
+  void ResetStats() {
+    MutexLock lock(mutex_);
+    stats_ = BackendStats();
+  }
 
   /// Computes the requested chunks of group-by `gb` from the fact table.
   /// Charges one query's worth of simulated latency. Always kOk.
@@ -126,9 +136,9 @@ class BackendServer : public Backend {
   const FactTable* table_;
   BackendCostModel model_;
   SimClock* clock_;
-  std::mutex mutex_;  // guards aggregator_ and stats_
-  Aggregator aggregator_;
-  BackendStats stats_;
+  mutable Mutex mutex_;
+  Aggregator aggregator_ AAC_GUARDED_BY(mutex_);
+  BackendStats stats_ AAC_GUARDED_BY(mutex_);
 };
 
 }  // namespace aac

@@ -26,7 +26,7 @@ BackendResult FaultInjectingBackend::ExecuteChunkQuery(
   // concurrency the k-th backend call system-wide still draws the k-th
   // variate. Every injected delay lands in the result's charged_nanos on
   // top of the inner backend's own charge.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.calls;
   // One variate per call partitions [0,1) into the fault classes, so the
   // schedule depends only on the seed and the call sequence.

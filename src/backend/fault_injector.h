@@ -2,12 +2,13 @@
 #define AAC_BACKEND_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "backend/backend.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -94,16 +95,25 @@ class FaultInjectingBackend : public Backend {
   }
 
   const FaultConfig& config() const { return config_; }
-  const FaultStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = FaultStats(); }
+
+  /// Snapshot of the fault counters (by value: a reference would race with
+  /// concurrent ExecuteChunkQuery calls updating them).
+  FaultStats stats() const {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
+  void ResetStats() {
+    MutexLock lock(mutex_);
+    stats_ = FaultStats();
+  }
 
  private:
   Backend* inner_;
   FaultConfig config_;
   SimClock* clock_;
-  std::mutex mutex_;  // guards rng_ and stats_
-  Rng rng_;
-  FaultStats stats_;
+  mutable Mutex mutex_;
+  Rng rng_ AAC_GUARDED_BY(mutex_);
+  FaultStats stats_ AAC_GUARDED_BY(mutex_);
 };
 
 }  // namespace aac

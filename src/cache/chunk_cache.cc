@@ -24,6 +24,10 @@ ChunkCache::ChunkCache(int64_t capacity_bytes, int64_t bytes_per_tuple,
   for (int s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->capacity = base + (s < remainder ? 1 : 0);
+    // The shard is not yet published, but its ring/accounting fields are
+    // lock-guarded — initialize under the (uncontended) lock so the
+    // thread-safety analysis sees a uniform discipline.
+    MutexLock lock(shard->mutex);
     shard->rings.resize(classes);
     shard->hands.resize(classes);
     for (size_t c = 0; c < classes; ++c) {
@@ -42,7 +46,7 @@ void ChunkCache::AddListener(CacheListener* listener) {
 int64_t ChunkCache::bytes_used() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->bytes_used;
   }
   return total;
@@ -51,7 +55,7 @@ int64_t ChunkCache::bytes_used() const {
 size_t ChunkCache::num_entries() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->entries.size();
   }
   return total;
@@ -60,7 +64,7 @@ size_t ChunkCache::num_entries() const {
 CacheStats ChunkCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.inserts += shard->stats.inserts;
@@ -72,20 +76,20 @@ CacheStats ChunkCache::stats() const {
 
 void ChunkCache::ResetStats() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     shard->stats = CacheStats();
   }
 }
 
 bool ChunkCache::Contains(const CacheKey& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.entries.count(key) > 0;
 }
 
 const ChunkData* ChunkCache::Get(const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
@@ -98,7 +102,7 @@ const ChunkData* ChunkCache::Get(const CacheKey& key) {
 
 const ChunkData* ChunkCache::Peek(const CacheKey& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   return it == shard.entries.end() ? nullptr : &it->second.data;
 }
@@ -106,7 +110,7 @@ const ChunkData* ChunkCache::Peek(const CacheKey& key) const {
 bool ChunkCache::GetCopy(const CacheKey& key, ChunkData* out) {
   AAC_CHECK(out != nullptr);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
@@ -120,7 +124,7 @@ bool ChunkCache::GetCopy(const CacheKey& key, ChunkData* out) {
 
 const ChunkData* ChunkCache::GetPinned(const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
@@ -142,7 +146,7 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
   const auto tuples = static_cast<int64_t>(data.tuple_count());
 
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto existing = shard.entries.find(key);
   if (existing != shard.entries.end()) {
     Entry& entry = existing->second;
@@ -228,7 +232,7 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
 
 bool ChunkCache::Remove(const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return false;
   AAC_CHECK_EQ(it->second.pin_count, 0);
@@ -238,7 +242,7 @@ bool ChunkCache::Remove(const CacheKey& key) {
 
 void ChunkCache::Boost(const CacheKey& key, double amount) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
   it->second.clock_value =
@@ -247,7 +251,7 @@ void ChunkCache::Boost(const CacheKey& key, double amount) {
 
 void ChunkCache::Pin(const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   AAC_CHECK(it != shard.entries.end());
   ++it->second.pin_count;
@@ -255,7 +259,7 @@ void ChunkCache::Pin(const CacheKey& key) {
 
 void ChunkCache::Unpin(const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   AAC_CHECK(it != shard.entries.end());
   AAC_CHECK_GT(it->second.pin_count, 0);
@@ -268,7 +272,7 @@ void ChunkCache::ForEach(
   // back into the cache (snapshot writers Peek every visited key).
   std::vector<CacheEntryInfo> infos;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (const auto& [key, entry] : shard->entries) infos.push_back(entry.info);
   }
   for (const CacheEntryInfo& info : infos) fn(info);
@@ -276,7 +280,7 @@ void ChunkCache::ForEach(
 
 bool ChunkCache::ValidateInvariants() const {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     int64_t bytes = 0;
     std::vector<int64_t> class_bytes(shard->class_bytes.size(), 0);
     size_t ring_members = 0;

@@ -5,13 +5,14 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/cache_entry.h"
 #include "cache/replacement.h"
 #include "storage/chunk_data.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -160,16 +161,18 @@ class ChunkCache {
   /// One lock domain: entries, CLOCK rings/hands and byte accounting for
   /// the keys that hash here.
   struct Shard {
-    mutable std::mutex mutex;
-    EntryMap entries;
+    mutable Mutex mutex;
+    EntryMap entries AAC_GUARDED_BY(mutex);
     // One CLOCK ring + hand per victim class, so a class-targeted sweep
     // never walks entries of protected classes.
-    std::vector<std::list<CacheKey>> rings;
-    std::vector<std::list<CacheKey>::iterator> hands;
+    std::vector<std::list<CacheKey>> rings AAC_GUARDED_BY(mutex);
+    std::vector<std::list<CacheKey>::iterator> hands AAC_GUARDED_BY(mutex);
+    // Immutable after the cache constructor publishes the shard.
     int64_t capacity = 0;
-    int64_t bytes_used = 0;
-    std::vector<int64_t> class_bytes;  // bytes per victim class
-    CacheStats stats;
+    int64_t bytes_used AAC_GUARDED_BY(mutex) = 0;
+    // Bytes per victim class.
+    std::vector<int64_t> class_bytes AAC_GUARDED_BY(mutex);
+    CacheStats stats AAC_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const CacheKey& key) {
@@ -183,9 +186,11 @@ class ChunkCache {
   /// clock rings; returns true on success. Entries the policy refuses to
   /// replace or that are pinned are skipped (without decrement). Caller
   /// holds the shard lock.
-  bool EvictFor(Shard& shard, const CacheEntryInfo& incoming, int64_t needed);
+  bool EvictFor(Shard& shard, const CacheEntryInfo& incoming, int64_t needed)
+      AAC_REQUIRES(shard.mutex);
 
-  void EvictEntry(Shard& shard, EntryMap::iterator it);
+  void EvictEntry(Shard& shard, EntryMap::iterator it)
+      AAC_REQUIRES(shard.mutex);
 
   int64_t capacity_bytes_;
   int64_t bytes_per_tuple_;

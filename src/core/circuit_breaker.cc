@@ -30,15 +30,28 @@ void CircuitBreaker::TransitionIfCooledDown() {
       clock_->TotalNanos() - opened_at_ns_ >= config_.cooldown_ns) {
     state_ = BreakerState::kHalfOpen;
     half_open_successes_ = 0;
+    probe_inflight_ = false;
   }
 }
 
 BreakerState CircuitBreaker::state() {
+  MutexLock lock(mutex_);
   TransitionIfCooledDown();
   return state_;
 }
 
+BreakerStats CircuitBreaker::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  MutexLock lock(mutex_);
+  return consecutive_failures_;
+}
+
 bool CircuitBreaker::AllowRequest() {
+  MutexLock lock(mutex_);
   TransitionIfCooledDown();
   switch (state_) {
     case BreakerState::kClosed:
@@ -47,6 +60,14 @@ bool CircuitBreaker::AllowRequest() {
       ++stats_.rejected;
       return false;
     case BreakerState::kHalfOpen:
+      // One probe at a time: the whole point of half-open is to risk a
+      // single request against a backend that was just down. Everyone else
+      // keeps getting the open-state treatment until the probe resolves.
+      if (probe_inflight_) {
+        ++stats_.rejected;
+        return false;
+      }
+      probe_inflight_ = true;
       ++stats_.probes;
       return true;
   }
@@ -54,12 +75,14 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
+  MutexLock lock(mutex_);
   TransitionIfCooledDown();
   switch (state_) {
     case BreakerState::kClosed:
       consecutive_failures_ = 0;
       break;
     case BreakerState::kHalfOpen:
+      probe_inflight_ = false;
       if (++half_open_successes_ >= config_.success_threshold) {
         state_ = BreakerState::kClosed;
         consecutive_failures_ = 0;
@@ -74,6 +97,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 void CircuitBreaker::RecordFailure() {
+  MutexLock lock(mutex_);
   TransitionIfCooledDown();
   switch (state_) {
     case BreakerState::kClosed:
@@ -84,6 +108,7 @@ void CircuitBreaker::RecordFailure() {
       }
       break;
     case BreakerState::kHalfOpen:
+      probe_inflight_ = false;
       state_ = BreakerState::kOpen;
       opened_at_ns_ = clock_->TotalNanos();
       ++stats_.reopens;

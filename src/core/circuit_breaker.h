@@ -3,7 +3,9 @@
 
 #include <cstdint>
 
+#include "util/mutex.h"
 #include "util/sim_clock.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -42,8 +44,18 @@ struct BreakerStats {
 /// through (half-open); `success_threshold` consecutive probe successes
 /// close the breaker, one probe failure reopens it.
 ///
+/// "A single probe" is enforced even under concurrency: while half-open, at
+/// most one AllowRequest succeeds until its outcome is reported via
+/// RecordSuccess / RecordFailure — a thundering herd arriving at cooldown
+/// expiry must not multiply into a herd of probes against a backend that is
+/// likely still down. Callers that were granted a probe MUST report an
+/// outcome (the engine's fetch loop always does).
+///
 /// Time comes from the experiment's SimClock, so breaker traces are
 /// deterministic and independent of wall-clock speed.
+///
+/// Thread-safe: all state sits behind one internal mutex, so one breaker
+/// can be shared by every engine of a pool.
 class CircuitBreaker {
  public:
   /// `clock` must outlive the breaker.
@@ -54,7 +66,9 @@ class CircuitBreaker {
   BreakerState state();
 
   /// True if a backend call may proceed now. Counts a probe when
-  /// half-open and a rejection when open.
+  /// half-open and a rejection when open. While half-open, only one
+  /// unresolved probe is granted at a time; concurrent requests are
+  /// rejected until the probe's outcome is recorded.
   bool AllowRequest();
 
   /// Reports a successful backend call.
@@ -64,19 +78,27 @@ class CircuitBreaker {
   void RecordFailure();
 
   const BreakerConfig& config() const { return config_; }
-  const BreakerStats& stats() const { return stats_; }
-  int consecutive_failures() const { return consecutive_failures_; }
+
+  /// Snapshot of the activity counters (by value: a reference would race
+  /// with concurrent state transitions).
+  BreakerStats stats() const;
+
+  int consecutive_failures() const;
 
  private:
-  void TransitionIfCooledDown();
+  void TransitionIfCooledDown() AAC_REQUIRES(mutex_);
 
-  BreakerConfig config_;
+  const BreakerConfig config_;
   const SimClock* clock_;
-  BreakerState state_ = BreakerState::kClosed;
-  int consecutive_failures_ = 0;
-  int half_open_successes_ = 0;
-  int64_t opened_at_ns_ = 0;
-  BreakerStats stats_;
+  mutable Mutex mutex_;
+  BreakerState state_ AAC_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  int consecutive_failures_ AAC_GUARDED_BY(mutex_) = 0;
+  int half_open_successes_ AAC_GUARDED_BY(mutex_) = 0;
+  /// True while a half-open probe has been granted but its outcome not yet
+  /// recorded. Caps concurrent probes at one.
+  bool probe_inflight_ AAC_GUARDED_BY(mutex_) = false;
+  int64_t opened_at_ns_ AAC_GUARDED_BY(mutex_) = 0;
+  BreakerStats stats_ AAC_GUARDED_BY(mutex_);
 };
 
 }  // namespace aac

@@ -13,7 +13,7 @@ ConcurrentQueryEngine::ConcurrentQueryEngine(EngineFactory factory)
 
 std::unique_ptr<QueryEngine> ConcurrentQueryEngine::Borrow() {
   {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     if (!idle_.empty()) {
       std::unique_ptr<QueryEngine> engine = std::move(idle_.back());
       idle_.pop_back();
@@ -30,7 +30,7 @@ std::unique_ptr<QueryEngine> ConcurrentQueryEngine::Borrow() {
 }
 
 void ConcurrentQueryEngine::Return(std::unique_ptr<QueryEngine> engine) {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  MutexLock lock(pool_mutex_);
   idle_.push_back(std::move(engine));
 }
 
@@ -44,7 +44,7 @@ QueryResult ConcurrentQueryEngine::ExecuteQuery(const Query& query,
 }
 
 int64_t ConcurrentQueryEngine::engines_created() const {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  MutexLock lock(pool_mutex_);
   return engines_created_;
 }
 

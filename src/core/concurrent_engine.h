@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/query_engine.h"
 #include "core/single_flight.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -61,15 +62,15 @@ class ConcurrentQueryEngine {
   RollupPlanCache& rollup_plan_cache() { return rollup_plans_; }
 
  private:
-  std::unique_ptr<QueryEngine> Borrow();
-  void Return(std::unique_ptr<QueryEngine> engine);
+  std::unique_ptr<QueryEngine> Borrow() AAC_EXCLUDES(pool_mutex_);
+  void Return(std::unique_ptr<QueryEngine> engine) AAC_EXCLUDES(pool_mutex_);
 
   EngineFactory factory_;
   SingleFlight single_flight_;
   RollupPlanCache rollup_plans_;
-  mutable std::mutex pool_mutex_;  // guards idle_ and engines_created_
-  std::vector<std::unique_ptr<QueryEngine>> idle_;
-  int64_t engines_created_ = 0;
+  mutable Mutex pool_mutex_;
+  std::vector<std::unique_ptr<QueryEngine>> idle_ AAC_GUARDED_BY(pool_mutex_);
+  int64_t engines_created_ AAC_GUARDED_BY(pool_mutex_) = 0;
   std::atomic<int64_t> queries_executed_{0};
 };
 

@@ -6,7 +6,7 @@ namespace aac {
 
 std::shared_ptr<SingleFlight::Slot> SingleFlight::JoinOrLead(
     const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = inflight_.find(key);
   if (it != inflight_.end()) return it->second;
   inflight_.emplace(key, std::make_shared<Slot>());
@@ -14,7 +14,7 @@ std::shared_ptr<SingleFlight::Slot> SingleFlight::JoinOrLead(
 }
 
 std::shared_ptr<SingleFlight::Slot> SingleFlight::Take(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = inflight_.find(key);
   AAC_CHECK(it != inflight_.end());  // Publish/Fail without JoinOrLead
   std::shared_ptr<Slot> slot = std::move(it->second);
@@ -25,27 +25,27 @@ std::shared_ptr<SingleFlight::Slot> SingleFlight::Take(const CacheKey& key) {
 void SingleFlight::Publish(const CacheKey& key, const ChunkData& data) {
   std::shared_ptr<Slot> slot = Take(key);
   {
-    std::lock_guard<std::mutex> lock(slot->mutex);
+    MutexLock lock(slot->mutex);
     slot->data = data;
     slot->ok = true;
     slot->done = true;
   }
-  slot->cv.notify_all();
+  slot->cv.NotifyAll();
 }
 
 void SingleFlight::Fail(const CacheKey& key) {
   std::shared_ptr<Slot> slot = Take(key);
   {
-    std::lock_guard<std::mutex> lock(slot->mutex);
+    MutexLock lock(slot->mutex);
     slot->ok = false;
     slot->done = true;
   }
-  slot->cv.notify_all();
+  slot->cv.NotifyAll();
 }
 
 bool SingleFlight::Await(Slot& slot, ChunkData* out) {
-  std::unique_lock<std::mutex> lock(slot.mutex);
-  slot.cv.wait(lock, [&] { return slot.done; });
+  MutexLock lock(slot.mutex);
+  while (!slot.done) slot.cv.Wait(slot.mutex);
   if (!slot.ok) return false;
   *out = slot.data;
   coalesced_.fetch_add(1, std::memory_order_relaxed);

@@ -2,14 +2,14 @@
 #define AAC_CORE_SINGLE_FLIGHT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "cache/cache_entry.h"
 #include "storage/chunk_data.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -42,11 +42,11 @@ class SingleFlight {
   /// One in-flight fetch. Waiters hold a shared_ptr so the slot outlives
   /// its removal from the in-flight map.
   struct Slot {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    bool ok = false;
-    ChunkData data;
+    Mutex mutex;
+    CondVar cv;
+    bool done AAC_GUARDED_BY(mutex) = false;
+    bool ok AAC_GUARDED_BY(mutex) = false;
+    ChunkData data AAC_GUARDED_BY(mutex);
   };
 
   /// Returns nullptr if the caller became the leader for `key` (and must
@@ -71,10 +71,11 @@ class SingleFlight {
   }
 
  private:
-  std::shared_ptr<Slot> Take(const CacheKey& key);
+  std::shared_ptr<Slot> Take(const CacheKey& key) AAC_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::unordered_map<CacheKey, std::shared_ptr<Slot>, CacheKeyHash> inflight_;
+  Mutex mutex_;
+  std::unordered_map<CacheKey, std::shared_ptr<Slot>, CacheKeyHash> inflight_
+      AAC_GUARDED_BY(mutex_);
   std::atomic<int64_t> coalesced_{0};
 };
 

@@ -1,5 +1,8 @@
 #include "core/vcm.h"
 
+#include <utility>
+#include <vector>
+
 #include "util/check.h"
 
 namespace aac {
@@ -13,24 +16,30 @@ VcmStrategy::VcmStrategy(const ChunkGrid* grid, const ChunkCache* cache)
   AAC_CHECK(cache != nullptr);
   // Seed the membership mirror from the cache's current contents (setup is
   // single-threaded; steady state maintains it via the listener hooks).
+  // Collected first, written under the lock after: the analysis is
+  // per-function, so guarded fields are not written from inside the
+  // ForEach lambda.
+  std::vector<std::pair<CacheKey, int64_t>> seed;
   cache->ForEach([&](const CacheEntryInfo& info) {
     const ChunkData* data = cache->Peek(info.key);
     if (data != nullptr) {
-      cached_tuples_[info.key] = static_cast<int64_t>(data->tuple_count());
+      seed.emplace_back(info.key, static_cast<int64_t>(data->tuple_count()));
     }
   });
+  WriterMutexLock lock(mutex_);
+  for (const auto& [key, tuples] : seed) cached_tuples_[key] = tuples;
 }
 
 bool VcmStrategy::IsComputable(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   // Statement (I) of Algorithm VCM: the count short-circuits everything.
   return counts_.IsComputable(gb, chunk);
 }
 
 std::unique_ptr<PlanNode> VcmStrategy::FindPlan(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   if (!counts_.IsComputable(gb, chunk)) return nullptr;
   return Build(gb, chunk);
 }

@@ -2,13 +2,14 @@
 #define AAC_CORE_VCM_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cache/chunk_cache.h"
 #include "core/strategy.h"
 #include "core/virtual_counts.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -41,38 +42,48 @@ class VcmStrategy : public LookupStrategy, public CacheListener {
   bool IsComputable(GroupById gb, ChunkId chunk) override;
   std::unique_ptr<PlanNode> FindPlan(GroupById gb, ChunkId chunk) override;
   CacheListener* listener() override { return this; }
-  int64_t SpaceOverheadBytes() const override { return counts_.SpaceBytes(); }
+  int64_t SpaceOverheadBytes() const override {
+    ReaderMutexLock lock(mutex_);
+    return counts_.SpaceBytes();
+  }
 
   // CacheListener (invoked under a cache shard lock; never calls the cache):
   void OnInsert(const CacheKey& key, int64_t tuples) override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     cached_tuples_[key] = tuples;
     counts_.OnChunkInserted(key.gb, key.chunk);
   }
   void OnUpdate(const CacheKey& key, int64_t tuples) override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     cached_tuples_[key] = tuples;
   }
   void OnEvict(const CacheKey& key) override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     cached_tuples_.erase(key);
     counts_.OnChunkEvicted(key.gb, key.chunk);
   }
 
-  /// Read access for tests and experiments (quiesced strategy).
-  const VirtualCounts& counts() const { return counts_; }
+  /// Read access for tests and experiments. Quiesced use only: returns a
+  /// reference to guarded state without a lock pin, which is sound only
+  /// while no listener callback can run concurrently (hence the analysis
+  /// opt-out).
+  const VirtualCounts& counts() const AAC_NO_THREAD_SAFETY_ANALYSIS {
+    return counts_;
+  }
 
  private:
-  std::unique_ptr<PlanNode> Build(GroupById gb, ChunkId chunk);
+  std::unique_ptr<PlanNode> Build(GroupById gb, ChunkId chunk)
+      AAC_REQUIRES_SHARED(mutex_);
 
   const ChunkGrid* grid_;
   const ChunkCache* cache_;
   ChunkIndexer indexer_;
-  mutable std::shared_mutex mutex_;
-  VirtualCounts counts_;
+  mutable SharedMutex mutex_;
+  VirtualCounts counts_ AAC_GUARDED_BY(mutex_);
   /// Mirror of cache membership with tuple counts, maintained by the
   /// listener hooks so Build never reads the cache.
-  std::unordered_map<CacheKey, int64_t, CacheKeyHash> cached_tuples_;
+  std::unordered_map<CacheKey, int64_t, CacheKeyHash> cached_tuples_
+      AAC_GUARDED_BY(mutex_);
 };
 
 }  // namespace aac

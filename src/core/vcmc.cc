@@ -22,15 +22,15 @@ VcmcStrategy::VcmcStrategy(const ChunkGrid* grid, const ChunkCache* cache,
   AAC_CHECK(cache != nullptr);
   AAC_CHECK(size_model != nullptr);
   // Seed the membership mirror from the cache (setup is single-threaded;
-  // the listener hooks maintain it from here on).
-  cached_.assign(static_cast<size_t>(indexer_.size()), 0);
+  // the listener hooks maintain it from here on). Cached indices are
+  // collected outside the lock — the analysis is per-function, so guarded
+  // fields are not written from inside the ForEach lambda.
+  std::vector<size_t> seeded;
   cache->ForEach([&](const CacheEntryInfo& info) {
-    cached_[static_cast<size_t>(
-        indexer_.IndexOf(info.key.gb, info.key.chunk))] = 1;
+    seeded.push_back(
+        static_cast<size_t>(indexer_.IndexOf(info.key.gb, info.key.chunk)));
   });
   auto [costs, parents] = ComputeCostsFromScratch();
-  costs_ = std::move(costs);
-  best_parents_ = std::move(parents);
 
   const Lattice& lattice = grid_->lattice();
   level_sums_.resize(static_cast<size_t>(lattice.num_groupbys()));
@@ -40,26 +40,33 @@ VcmcStrategy::VcmcStrategy(const ChunkGrid* grid, const ChunkCache* cache,
     for (int d = 0; d < lv.size(); ++d) sum += lv[d];
     level_sums_[static_cast<size_t>(gb)] = static_cast<int16_t>(sum);
   }
+
+  WriterMutexLock lock(mutex_);
+  cached_.assign(static_cast<size_t>(indexer_.size()), 0);
+  for (size_t idx : seeded) cached_[idx] = 1;
+  costs_ = std::move(costs);
+  best_parents_ = std::move(parents);
   queued_epoch_.assign(static_cast<size_t>(indexer_.size()), 0);
 }
 
 bool VcmcStrategy::IsComputable(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return counts_.IsComputable(gb, chunk);
 }
 
 double VcmcStrategy::CostOf(GroupById gb, ChunkId chunk) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return costs_[static_cast<size_t>(indexer_.IndexOf(gb, chunk))];
 }
 
 int8_t VcmcStrategy::BestParentOf(GroupById gb, ChunkId chunk) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return best_parents_[static_cast<size_t>(indexer_.IndexOf(gb, chunk))];
 }
 
 int64_t VcmcStrategy::SpaceOverheadBytes() const {
+  ReaderMutexLock lock(mutex_);
   return counts_.SpaceBytes() +
          static_cast<int64_t>(costs_.size() * sizeof(double)) +
          static_cast<int64_t>(best_parents_.size() * sizeof(int8_t));
@@ -67,7 +74,7 @@ int64_t VcmcStrategy::SpaceOverheadBytes() const {
 
 void VcmcStrategy::OnInsert(const CacheKey& key, int64_t tuples) {
   (void)tuples;  // costs use the size model, not actual tuple counts
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   cached_[static_cast<size_t>(indexer_.IndexOf(key.gb, key.chunk))] = 1;
   // Counts first: cost evaluation reads path-completeness from them.
   counts_.OnChunkInserted(key.gb, key.chunk);
@@ -75,7 +82,7 @@ void VcmcStrategy::OnInsert(const CacheKey& key, int64_t tuples) {
 }
 
 void VcmcStrategy::OnEvict(const CacheKey& key) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   cached_[static_cast<size_t>(indexer_.IndexOf(key.gb, key.chunk))] = 0;
   counts_.OnChunkEvicted(key.gb, key.chunk);
   RecomputeAndPropagate(key.gb, key.chunk);
@@ -90,13 +97,17 @@ std::pair<double, int8_t> VcmcStrategy::Evaluate(GroupById gb,
   const auto& parents = lattice.Parents(gb);
   double best_cost = kInf;
   int8_t best_parent = kNone;
+  // Local alias: the per-chunk callback below is a distinct function to the
+  // thread-safety analysis, so it reads the guarded array through a
+  // reference pinned here, where the capability is provably held.
+  const std::vector<double>& costs = costs_;
   for (size_t pi = 0; pi < parents.size(); ++pi) {
     const GroupById parent = parents[pi];
     double sum = 0.0;
     const bool complete = grid_->ForEachParentChunk(
         gb, chunk, parent, [&](ChunkId pc) {
           const double pc_cost =
-              costs_[static_cast<size_t>(indexer_.IndexOf(parent, pc))];
+              costs[static_cast<size_t>(indexer_.IndexOf(parent, pc))];
           if (pc_cost == kInf) return false;
           // Materialize the input (pc_cost), then aggregate its tuples.
           sum += pc_cost + size_model_->ExpectedChunkTuples(parent, pc);
@@ -120,10 +131,14 @@ void VcmcStrategy::RecomputeAndPropagate(GroupById gb, ChunkId chunk) {
   ++epoch_;
   using QueueItem = std::pair<int16_t, std::pair<GroupById, ChunkId>>;
   std::priority_queue<QueueItem> queue;  // max level sum first
+  // Aliases for the enqueue lambda (a distinct function to the analysis;
+  // the capability is held for this whole method).
+  std::vector<int64_t>& queued_epoch = queued_epoch_;
+  const int64_t epoch = epoch_;
   auto enqueue = [&](GroupById g, ChunkId c) {
     const size_t idx = static_cast<size_t>(indexer_.IndexOf(g, c));
-    if (queued_epoch_[idx] == epoch_) return;
-    queued_epoch_[idx] = epoch_;
+    if (queued_epoch[idx] == epoch) return;
+    queued_epoch[idx] = epoch;
     queue.emplace(level_sums_[static_cast<size_t>(g)], std::make_pair(g, c));
   };
   enqueue(gb, chunk);
@@ -188,7 +203,7 @@ VcmcStrategy::ComputeCostsFromScratch() const {
 
 std::unique_ptr<PlanNode> VcmcStrategy::FindPlan(GroupById gb, ChunkId chunk) {
   ++metrics_.nodes_visited;
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   if (!counts_.IsComputable(gb, chunk)) return nullptr;
   return Build(gb, chunk);
 }

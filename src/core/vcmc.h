@@ -2,7 +2,6 @@
 #define AAC_CORE_VCMC_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +10,8 @@
 #include "chunks/chunk_size_model.h"
 #include "core/strategy.h"
 #include "core/virtual_counts.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -68,39 +69,48 @@ class VcmcStrategy : public LookupStrategy, public CacheListener {
   static constexpr int8_t kNone = -2;
   int8_t BestParentOf(GroupById gb, ChunkId chunk) const;
 
-  const VirtualCounts& counts() const { return counts_; }
+  /// Read access for tests and experiments. Quiesced use only: returns a
+  /// reference to guarded state without a lock pin (see VcmStrategy::counts).
+  const VirtualCounts& counts() const AAC_NO_THREAD_SAFETY_ANALYSIS {
+    return counts_;
+  }
 
   /// From-scratch recomputation of (cost, best parent) for every chunk, in
   /// topological order; the incremental maintenance must agree (tested).
+  /// Reads the cache directly, without taking mutex_ — construction-time
+  /// seeding and quiesced-cache test oracles only (hence the opt-out).
   std::pair<std::vector<double>, std::vector<int8_t>> ComputeCostsFromScratch()
-      const;
+      const AAC_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   /// Recomputes (cost, best parent) of one chunk from current state.
-  /// Caller holds mutex_ (exclusive).
-  std::pair<double, int8_t> Evaluate(GroupById gb, ChunkId chunk) const;
+  std::pair<double, int8_t> Evaluate(GroupById gb, ChunkId chunk) const
+      AAC_REQUIRES(mutex_);
 
   /// Re-evaluates the chunk and, while costs keep changing, the affected
   /// more-aggregated chunks — processed in topological (descending
   /// level-sum) order so each affected chunk is recomputed exactly once.
-  void RecomputeAndPropagate(GroupById gb, ChunkId chunk);
+  void RecomputeAndPropagate(GroupById gb, ChunkId chunk) AAC_REQUIRES(mutex_);
 
-  std::unique_ptr<PlanNode> Build(GroupById gb, ChunkId chunk);
+  std::unique_ptr<PlanNode> Build(GroupById gb, ChunkId chunk)
+      AAC_REQUIRES_SHARED(mutex_);
 
   const ChunkGrid* grid_;
   const ChunkCache* cache_;
   const ChunkSizeModel* size_model_;
   ChunkIndexer indexer_;
-  mutable std::shared_mutex mutex_;
-  VirtualCounts counts_;
+  mutable SharedMutex mutex_;
+  VirtualCounts counts_ AAC_GUARDED_BY(mutex_);
   /// Mirror of cache membership (1 = cached), indexed like costs_;
   /// maintained by the listener hooks so Evaluate never reads the cache.
-  std::vector<uint8_t> cached_;
-  std::vector<double> costs_;
-  std::vector<int8_t> best_parents_;
-  std::vector<int16_t> level_sums_;     // per group-by, for topo ordering
-  std::vector<int64_t> queued_epoch_;   // per chunk, dedup for propagation
-  int64_t epoch_ = 0;
+  std::vector<uint8_t> cached_ AAC_GUARDED_BY(mutex_);
+  std::vector<double> costs_ AAC_GUARDED_BY(mutex_);
+  std::vector<int8_t> best_parents_ AAC_GUARDED_BY(mutex_);
+  // Immutable after construction (sized/filled once, then read-only).
+  std::vector<int16_t> level_sums_;  // per group-by, for topo ordering
+  std::vector<int64_t> queued_epoch_
+      AAC_GUARDED_BY(mutex_);  // per chunk, dedup for propagation
+  int64_t epoch_ AAC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace aac

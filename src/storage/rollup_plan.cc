@@ -1,6 +1,5 @@
 #include "storage/rollup_plan.h"
 
-#include <mutex>
 #include <utility>
 
 #include "util/check.h"
@@ -92,7 +91,7 @@ std::shared_ptr<const RollupPlan> RollupPlanCache::Get(const ChunkGrid& grid,
                                                        ChunkId chunk) {
   const Key key{from, to, chunk};
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -104,13 +103,13 @@ std::shared_ptr<const RollupPlan> RollupPlanCache::Get(const ChunkGrid& grid,
   // try_emplace race and both callers share one plan.
   misses_.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<const RollupPlan> plan = BuildRollupPlan(grid, from, to, chunk);
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto [it, inserted] = plans_.try_emplace(key, std::move(plan));
   return it->second;
 }
 
 void RollupPlanCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   plans_.clear();
 }
 
@@ -118,7 +117,7 @@ RollupPlanCache::Stats RollupPlanCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   s.entries = static_cast<int64_t>(plans_.size());
   return s;
 }

@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "chunks/chunk_grid.h"
 #include "storage/tuple.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aac {
 
@@ -147,8 +148,9 @@ class RollupPlanCache {
     }
   };
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const RollupPlan>, KeyHash> plans_;
+  mutable SharedMutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const RollupPlan>, KeyHash> plans_
+      AAC_GUARDED_BY(mutex_);
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
 };

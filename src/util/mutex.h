@@ -1,0 +1,141 @@
+#ifndef AAC_UTIL_MUTEX_H_
+#define AAC_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+// Annotated lock types for the concurrent core.
+//
+// Thin wrappers over std::mutex / std::shared_mutex / std::condition_variable
+// that carry the Clang Thread Safety Analysis capability attributes
+// (util/thread_annotations.h). The std types cannot be annotated, so every
+// mutex in src/ uses these wrappers instead; tools/lint_invariants.py
+// enforces that no raw std lock type (and no naked .lock()/.unlock() call)
+// appears outside this header. The wrappers compile to the identical code —
+// all methods are inline forwards.
+//
+// Idiom:
+//
+//   class Registry {
+//    public:
+//     int64_t size() const {
+//       MutexLock lock(mutex_);
+//       return entries_;        // OK: lock held
+//     }
+//    private:
+//     void GrowLocked() AAC_REQUIRES(mutex_);  // helper needs the lock
+//     mutable Mutex mutex_;
+//     int64_t entries_ AAC_GUARDED_BY(mutex_) = 0;
+//   };
+
+namespace aac {
+
+/// Exclusive mutex (capability). Prefer the scoped MutexLock guard; direct
+/// Lock()/Unlock() pairs are for adopt/release patterns only.
+class AAC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AAC_ACQUIRE() { mu_.lock(); }
+  void Unlock() AAC_RELEASE() { mu_.unlock(); }
+  bool TryLock() AAC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (capability): exclusive for writers, shared for
+/// readers. Prefer the scoped WriterMutexLock / ReaderMutexLock guards.
+class AAC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() AAC_ACQUIRE() { mu_.lock(); }
+  void Unlock() AAC_RELEASE() { mu_.unlock(); }
+  void LockShared() AAC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() AAC_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex.
+class AAC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AAC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() AAC_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class AAC_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) AAC_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() AAC_RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class AAC_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) AAC_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() AAC_RELEASE_SHARED() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to aac::Mutex.
+///
+/// Wait() requires the mutex held and holds it again on return (the wait
+/// itself releases and reacquires, as condition variables do — the analysis
+/// treats the capability as held across the call, matching the caller's
+/// view). Spurious wakeups are possible; callers loop on their predicate:
+///
+///   MutexLock lock(mutex_);
+///   while (!done_) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires `mu` before returning.
+  void Wait(Mutex& mu) AAC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership returns to the caller's scope
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace aac
+
+#endif  // AAC_UTIL_MUTEX_H_

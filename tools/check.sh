@@ -5,12 +5,16 @@
 # ThreadSanitizer (-DAAC_SANITIZE=thread). Run from anywhere; builds land
 # in build/, build-asan/ and build-tsan/ under the repo root.
 #
-#   tools/check.sh             # all three configurations
+#   tools/check.sh             # all three build configurations + lint
 #   tools/check.sh plain       # plain only
 #   tools/check.sh asan        # ASan+UBSan only
 #   tools/check.sh tsan        # TSan concurrency suite only
 #   tools/check.sh bench-smoke # rollup-kernel smoke + kernel suite under
 #                              # ASan+UBSan and TSan
+#   tools/check.sh lint        # the lint wall (tools/lint.sh): repo
+#                              # invariants always; clang thread-safety
+#                              # analysis and clang-tidy when LLVM is
+#                              # installed
 
 set -euo pipefail
 
@@ -77,13 +81,17 @@ case "${mode}" in
     run_bench_smoke "asan+ubsan" "${repo_root}/build-asan" ON
     run_bench_smoke "tsan" "${repo_root}/build-tsan" thread
     ;;
+  lint)
+    "${repo_root}/tools/lint.sh"
+    ;;
   all)
+    "${repo_root}/tools/lint.sh"
     run_config "plain" "${repo_root}/build"
     run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
     run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|bench-smoke|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|bench-smoke|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# The lint wall. Three layers, strictest available toolchain wins:
+#
+#   1. tools/lint_invariants.py — pure Python, always runs. Bans raw lock
+#      primitives outside src/util/mutex.h, pins the thread-safety
+#      annotation table, keeps the fold hot path flat, audits test
+#      registration and concurrency labels.
+#   2. Clang Thread Safety Analysis — a full compile of the tree with
+#      clang++ -Wthread-safety -Werror=thread-safety-analysis (the CMake
+#      config adds the flags automatically under Clang). Skipped with a
+#      notice when no clang++ is on PATH.
+#   3. clang-tidy over compile_commands.json with the curated .clang-tidy
+#      check set (WarningsAsErrors: '*'). Skipped with a notice when no
+#      clang-tidy is on PATH.
+#
+# Exit status is nonzero iff an *available* layer found a problem; absent
+# optional toolchains are reported but never fail the wall, so the gate is
+# meaningful on GCC-only machines and strict on developer machines with
+# LLVM installed. Run directly or as `tools/check.sh lint`.
+
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+status=0
+
+echo "=== lint: invariants (python) ==="
+if ! python3 "${repo_root}/tools/lint_invariants.py"; then
+  status=1
+fi
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== lint: clang thread-safety analysis ==="
+  build_dir="${repo_root}/build-tsa"
+  if cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null &&
+     cmake --build "${build_dir}" -j "${jobs}"; then
+    echo "thread-safety analysis: clean"
+  else
+    echo "thread-safety analysis: FAILED" >&2
+    status=1
+  fi
+else
+  echo "=== lint: clang thread-safety analysis — SKIPPED (no clang++ on PATH) ==="
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== lint: clang-tidy ==="
+  # Prefer a clang-built compile database when one exists (identical flags
+  # to what clang-tidy's bundled clang accepts); fall back to the default
+  # build tree, which exports compile_commands.json unconditionally.
+  db_dir="${repo_root}/build"
+  [ -f "${repo_root}/build-tsa/compile_commands.json" ] && db_dir="${repo_root}/build-tsa"
+  if [ ! -f "${db_dir}/compile_commands.json" ]; then
+    cmake -B "${db_dir}" -S "${repo_root}" >/dev/null
+  fi
+  mapfile -t sources < <(cd "${repo_root}" && ls src/*/*.cc)
+  if (cd "${repo_root}" && clang-tidy -p "${db_dir}" --quiet "${sources[@]}"); then
+    echo "clang-tidy: clean"
+  else
+    echo "clang-tidy: FAILED" >&2
+    status=1
+  fi
+else
+  echo "=== lint: clang-tidy — SKIPPED (no clang-tidy on PATH) ==="
+fi
+
+if [ "${status}" -eq 0 ]; then
+  echo "lint wall: clean"
+else
+  echo "lint wall: FAILED" >&2
+fi
+exit "${status}"

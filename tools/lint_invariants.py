@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: the always-on half of the lint wall.
+
+Clang Thread Safety Analysis (tools/lint.sh, CMake -Wthread-safety) is the
+deep check, but it only runs where a clang toolchain exists. This linter is
+pure Python over the source text, so it runs everywhere the tests run, and
+it enforces the invariants that keep the clang gate meaningful:
+
+  R1  Raw lock primitives are banned outside src/util/mutex.h. All of
+      src/ must lock through aac::Mutex / aac::SharedMutex and the RAII
+      guards — a naked std::mutex or .lock() call is invisible to the
+      thread-safety analysis and to the lock-ordering documentation.
+  R2  The lock-discipline annotation table: specific guarded fields and
+      lock-requiring methods of the concurrent core must carry their
+      AAC_GUARDED_BY / AAC_REQUIRES annotations. Deleting an annotation
+      (which would silently weaken the clang gate) fails this linter even
+      on machines without clang.
+  R3  The rollup fold hot path (src/storage/aggregator.*) must not use
+      std::unordered_map — the flat SparseFoldTable / FoldArena replaced
+      it for a reason (PR "fast rollup kernel"); a regression would be a
+      silent 2-3x kernel slowdown.
+  R4  Every tests/*_test.cc is registered in tests/CMakeLists.txt via
+      aac_add_test (the function silently skips missing files, so an
+      unregistered test compiles green and never runs).
+  R5  Tests that exercise the concurrent core (ConcurrentQueryEngine,
+      SingleFlight, the sharded ChunkCache, RollupPlanCache, raw
+      std::thread) must carry the "concurrency" ctest label, because
+      tools/check.sh tsan only runs that label — an unlabeled concurrent
+      test never sees ThreadSanitizer.
+
+Exit status 0 with no output (beyond the summary) when clean; 1 with one
+line per finding otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+findings = []
+
+
+def finding(path, lineno, rule, message):
+    rel = path.relative_to(REPO) if path.is_absolute() else path
+    findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+
+def source_lines(path):
+    """Yields (lineno, line) with // comments stripped (string literals in
+    this codebase never contain the banned tokens, so no lexer needed)."""
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        yield lineno, line.split("//", 1)[0]
+
+
+# --------------------------------------------------------------------------
+# R1: raw lock primitives banned outside the wrapper.
+# --------------------------------------------------------------------------
+
+RAW_LOCK_TOKENS = [
+    (re.compile(r"\bstd::(recursive_|timed_|shared_)?mutex\b"), "std mutex type"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"), "std condition variable"),
+    (
+        re.compile(r"\bstd::(lock_guard|unique_lock|shared_lock|scoped_lock)\b"),
+        "std lock guard",
+    ),
+    (
+        re.compile(r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"),
+        "raw lock header include",
+    ),
+    # Naked lock-manipulation calls. aac::Mutex spells these Lock()/Unlock()
+    # (capitalized), so any lowercase member call is a std primitive leaking
+    # through. Matched as member calls to avoid false positives on
+    # unrelated identifiers.
+    (
+        re.compile(r"[\w\)\]](\.|->)(lock|unlock|try_lock|lock_shared|"
+                   r"unlock_shared|try_lock_shared)\s*\("),
+        "naked lock/unlock call",
+    ),
+]
+
+WRAPPER = REPO / "src" / "util" / "mutex.h"
+
+
+def check_raw_locks():
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc") or path == WRAPPER:
+            continue
+        for lineno, code in source_lines(path):
+            for pattern, what in RAW_LOCK_TOKENS:
+                if pattern.search(code):
+                    finding(
+                        path, lineno, "R1-raw-lock",
+                        f"{what} outside src/util/mutex.h — use aac::Mutex / "
+                        "aac::SharedMutex and the RAII guards",
+                    )
+
+
+# --------------------------------------------------------------------------
+# R2: the annotation table. Each entry pins one annotation the clang
+# thread-safety gate depends on: (file, anchor regex, human description).
+# The anchor must match the file text (DOTALL, so declarations may wrap).
+# --------------------------------------------------------------------------
+
+ANNOTATION_TABLE = [
+    # ChunkCache: per-shard state and the eviction helpers that assume the
+    # shard lock is held.
+    ("src/cache/chunk_cache.h",
+     r"entries\s+AAC_GUARDED_BY\(mutex\)",
+     "Shard::entries must be AAC_GUARDED_BY(mutex)"),
+    ("src/cache/chunk_cache.h",
+     r"EvictFor\([^;]*\)\s*AAC_REQUIRES\(shard\.mutex\)",
+     "EvictFor must carry AAC_REQUIRES(shard.mutex)"),
+    ("src/cache/chunk_cache.h",
+     r"EvictEntry\([^;]*\)\s*AAC_REQUIRES\(shard\.mutex\)",
+     "EvictEntry must carry AAC_REQUIRES(shard.mutex)"),
+    # Circuit breaker: the half-open single-probe invariant lives in
+    # probe_inflight_; TransitionIfCooledDown mutates state under the lock.
+    ("src/core/circuit_breaker.h",
+     r"probe_inflight_\s+AAC_GUARDED_BY\(mutex_\)",
+     "probe_inflight_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/core/circuit_breaker.h",
+     r"TransitionIfCooledDown\(\)\s*AAC_REQUIRES\(mutex_\)",
+     "TransitionIfCooledDown must carry AAC_REQUIRES(mutex_)"),
+    # SingleFlight: slot payload is published under the slot mutex.
+    ("src/core/single_flight.h",
+     r"done\s+AAC_GUARDED_BY\(mutex\)",
+     "Slot::done must be AAC_GUARDED_BY(mutex)"),
+    ("src/core/single_flight.h",
+     r"inflight_\s+AAC_GUARDED_BY\(mutex_\)",
+     "inflight_ must be AAC_GUARDED_BY(mutex_)"),
+    # VCM / VCMC strategies: shared_mutex discipline over the count tables.
+    ("src/core/vcm.h",
+     r"counts_\s+AAC_GUARDED_BY\(mutex_\)",
+     "VcmStrategy::counts_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/core/vcm.h",
+     r"Build\([^;]*\)[^;]*AAC_REQUIRES_SHARED\(mutex_\)",
+     "VcmStrategy::Build must carry AAC_REQUIRES_SHARED(mutex_)"),
+    ("src/core/vcmc.h",
+     r"Evaluate\([^;]*\)[^;]*AAC_REQUIRES\(mutex_\)",
+     "VcmcStrategy::Evaluate must carry AAC_REQUIRES(mutex_)"),
+    ("src/core/vcmc.h",
+     r"RecomputeAndPropagate\([^;]*\)[^;]*AAC_REQUIRES\(mutex_\)",
+     "VcmcStrategy::RecomputeAndPropagate must carry AAC_REQUIRES(mutex_)"),
+    # Engine pool.
+    ("src/core/concurrent_engine.h",
+     r"idle_\s+AAC_GUARDED_BY\(pool_mutex_\)",
+     "ConcurrentQueryEngine::idle_ must be AAC_GUARDED_BY(pool_mutex_)"),
+    # Rollup plan cache.
+    ("src/storage/rollup_plan.h",
+     r"plans_\s*\n?\s*AAC_GUARDED_BY\(mutex_\)",
+     "RollupPlanCache::plans_ must be AAC_GUARDED_BY(mutex_)"),
+    # Backend + fault injector: stats snapshots by value under the lock.
+    ("src/backend/backend.h",
+     r"stats_\s+AAC_GUARDED_BY\(mutex_\)",
+     "BackendServer::stats_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/backend/fault_injector.h",
+     r"rng_\s+AAC_GUARDED_BY\(mutex_\)",
+     "FaultInjectingBackend::rng_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/backend/fault_injector.h",
+     r"stats_\s+AAC_GUARDED_BY\(mutex_\)",
+     "FaultInjectingBackend::stats_ must be AAC_GUARDED_BY(mutex_)"),
+]
+
+
+def check_annotation_table():
+    for rel, anchor, description in ANNOTATION_TABLE:
+        path = REPO / rel
+        if not path.exists():
+            finding(pathlib.Path(rel), 1, "R2-annotation",
+                    f"file missing but listed in annotation table: {description}")
+            continue
+        text = path.read_text(encoding="utf-8")
+        if not re.search(anchor, text, re.DOTALL):
+            finding(path, 1, "R2-annotation", description)
+
+
+# Returning a reference to lock-guarded state hands the caller a racy view;
+# the two accessors this bit in real code must stay by-value.
+BY_VALUE_TABLE = [
+    ("src/backend/backend.h", r"const\s+BackendStats\s*&\s*stats\(\)",
+     "BackendServer::stats() must return BackendStats by value, not by "
+     "reference (the reference races with concurrent ExecuteChunkQuery)"),
+    ("src/backend/fault_injector.h", r"const\s+FaultStats\s*&\s*stats\(\)",
+     "FaultInjectingBackend::stats() must return FaultStats by value"),
+    ("src/core/circuit_breaker.h", r"const\s+BreakerStats\s*&\s*stats\(\)",
+     "CircuitBreaker::stats() must return BreakerStats by value"),
+]
+
+
+def check_by_value_accessors():
+    for rel, banned, description in BY_VALUE_TABLE:
+        path = REPO / rel
+        if path.exists() and re.search(banned, path.read_text(encoding="utf-8")):
+            finding(path, 1, "R2-annotation", description)
+
+
+# --------------------------------------------------------------------------
+# R3: fold hot path stays flat.
+# --------------------------------------------------------------------------
+
+def check_fold_hot_path():
+    for rel in ("src/storage/aggregator.h", "src/storage/aggregator.cc"):
+        path = REPO / rel
+        if not path.exists():
+            continue
+        for lineno, code in source_lines(path):
+            if re.search(r"\bstd::unordered_map\b", code):
+                finding(path, lineno, "R3-fold-hot-path",
+                        "std::unordered_map in the rollup fold hot path — "
+                        "use SparseFoldTable / FoldArena")
+
+
+# --------------------------------------------------------------------------
+# R4 + R5: test registration and concurrency-label audit.
+# --------------------------------------------------------------------------
+
+CONCURRENCY_MARKERS = re.compile(
+    r"#\s*include\s*(<thread>"
+    r"|\"core/concurrent_engine\.h\""
+    r"|\"core/single_flight\.h\""
+    r"|\"cache/chunk_cache\.h\""
+    r"|\"storage/rollup_plan\.h\""
+    r"|\"workload/parallel_runner\.h\")"
+)
+
+
+def check_test_registry():
+    cmake = REPO / "tests" / "CMakeLists.txt"
+    text = cmake.read_text(encoding="utf-8")
+    # name -> label list, from aac_add_test(name [labels...]) calls.
+    registered = {
+        m.group(1): m.group(2).split()
+        for m in re.finditer(r"aac_add_test\(\s*(\w+)([^)]*)\)", text)
+    }
+    for name, labels in registered.items():
+        if not (REPO / "tests" / f"{name}.cc").exists():
+            finding(cmake, 1, "R4-test-registry",
+                    f"aac_add_test({name}) has no tests/{name}.cc — the "
+                    "function silently skips it, so nothing runs")
+        del labels
+    for path in sorted((REPO / "tests").glob("*_test.cc")):
+        name = path.stem
+        if name not in registered:
+            finding(cmake, 1, "R4-test-registry",
+                    f"tests/{name}.cc is not registered via aac_add_test — "
+                    "it will never build or run")
+            continue
+        if CONCURRENCY_MARKERS.search(path.read_text(encoding="utf-8")):
+            if "concurrency" not in registered[name]:
+                finding(path, 1, "R5-concurrency-label",
+                        f"{name} exercises the concurrent core but is not "
+                        "labeled \"concurrency\" — tools/check.sh tsan will "
+                        "never run it under ThreadSanitizer")
+
+
+def main():
+    check_raw_locks()
+    check_annotation_table()
+    check_by_value_accessors()
+    check_fold_hot_path()
+    check_test_registry()
+    if findings:
+        for line in findings:
+            print(line)
+        print(f"lint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
