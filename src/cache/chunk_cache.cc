@@ -315,6 +315,15 @@ bool ChunkCache::ValidateInvariants() const {
   return true;
 }
 
+int64_t ChunkCache::TotalPinCount() const {
+  int64_t pins = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries) pins += entry.pin_count;
+  }
+  return pins;
+}
+
 bool ChunkCache::EvictFor(Shard& shard, const CacheEntryInfo& incoming,
                           int64_t needed) {
   // Fast reject: not enough evictable bytes in the classes this chunk may

@@ -146,6 +146,11 @@ class ChunkCache {
   /// for tests (quiesced cache); takes each shard lock in turn.
   bool ValidateInvariants() const;
 
+  /// Sum of pin counts across all entries (each shard locked in turn).
+  /// Exact only on a quiesced cache; a storm test asserting "no leaked
+  /// pins" checks this is zero once every query has resolved.
+  int64_t TotalPinCount() const;
+
  private:
   struct Entry {
     ChunkData data;

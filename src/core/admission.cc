@@ -1,0 +1,121 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace aac {
+
+namespace {
+
+// A queued waiter re-checks its deadline at least this often even when no
+// slot frees up, and at cancel-poll granularity when only a CancelToken is
+// set (a token can fire at any moment; a deadline cannot move closer than
+// its remaining budget).
+constexpr int64_t kMaxWaitSliceNanos = 1'000'000'000;
+constexpr int64_t kCancelPollNanos = 2'000'000;
+
+}  // namespace
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kShedQueueFull:
+      return "shed-queue-full";
+    case AdmissionOutcome::kShedBreakerOpen:
+      return "shed-breaker-open";
+    case AdmissionOutcome::kDeadlineExpiredInQueue:
+      return "deadline-expired-in-queue";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  AAC_CHECK(config.max_concurrent > 0);
+  AAC_CHECK(config.max_concurrent_batch > 0);
+  AAC_CHECK(config.max_queued_interactive >= 0);
+  AAC_CHECK(config.max_queued_batch >= 0);
+}
+
+bool AdmissionController::HasCapacityLocked(QueryClass query_class) const {
+  if (running_ >= config_.max_concurrent) return false;
+  if (query_class == QueryClass::kBatch &&
+      running_batch_ >= config_.max_concurrent_batch) {
+    return false;
+  }
+  return true;
+}
+
+AdmissionOutcome AdmissionController::Admit(const ExecContext& ctx) {
+  const QueryClass qc = ctx.query_class;
+  MutexLock lock(mutex_);
+  // Lock order admission → breaker (the breaker never calls back here).
+  if (qc == QueryClass::kBatch && config_.shed_batch_when_breaker_open &&
+      breaker_ != nullptr && breaker_->state() != BreakerState::kClosed) {
+    ++shed_breaker_open_;
+    return AdmissionOutcome::kShedBreakerOpen;
+  }
+  if (!HasCapacityLocked(qc)) {
+    int& queued = qc == QueryClass::kBatch ? queued_batch_ : queued_interactive_;
+    const int limit = qc == QueryClass::kBatch ? config_.max_queued_batch
+                                               : config_.max_queued_interactive;
+    if (queued >= limit) {
+      ++shed_queue_full_;
+      return AdmissionOutcome::kShedQueueFull;
+    }
+    ++queued;
+    peak_queued_ = std::max<int64_t>(peak_queued_,
+                                     queued_interactive_ + queued_batch_);
+    while (!HasCapacityLocked(qc)) {
+      if (ctx.ShouldAbort()) {
+        --queued;
+        ++expired_in_queue_;
+        return AdmissionOutcome::kDeadlineExpiredInQueue;
+      }
+      if (!ctx.deadline.has_deadline() && ctx.cancel == nullptr) {
+        slot_freed_.Wait(mutex_);
+        continue;
+      }
+      int64_t slice = std::min(ctx.deadline.remaining_ns(), kMaxWaitSliceNanos);
+      if (ctx.cancel != nullptr) slice = std::min(slice, kCancelPollNanos);
+      slot_freed_.WaitForNanos(mutex_, slice);
+    }
+    --queued;
+  }
+  ++running_;
+  if (qc == QueryClass::kBatch) ++running_batch_;
+  ++admitted_;
+  return AdmissionOutcome::kAdmitted;
+}
+
+void AdmissionController::Release(QueryClass query_class) {
+  {
+    MutexLock lock(mutex_);
+    AAC_CHECK(running_ > 0);
+    --running_;
+    if (query_class == QueryClass::kBatch) {
+      AAC_CHECK(running_batch_ > 0);
+      --running_batch_;
+    }
+  }
+  // NotifyAll, not NotifyOne: the woken waiter might be a batch query that
+  // still lacks class capacity while an interactive waiter could run.
+  slot_freed_.NotifyAll();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(mutex_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.shed_queue_full = shed_queue_full_;
+  s.shed_breaker_open = shed_breaker_open_;
+  s.expired_in_queue = expired_in_queue_;
+  s.running = running_;
+  s.queued = queued_interactive_ + queued_batch_;
+  s.peak_queued = peak_queued_;
+  return s;
+}
+
+}  // namespace aac

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace aac {
 
@@ -26,7 +27,22 @@ std::unique_ptr<QueryEngine> ConcurrentQueryEngine::Borrow() {
   AAC_CHECK(engine != nullptr);
   engine->set_single_flight(&single_flight_);
   engine->set_rollup_plan_cache(&rollup_plans_);
+  if (shared_breaker_ != nullptr) engine->set_circuit_breaker(shared_breaker_);
   return engine;
+}
+
+void ConcurrentQueryEngine::ConfigureAdmission(const AdmissionConfig& config) {
+  admission_ = std::make_unique<AdmissionController>(config);
+  admission_->set_circuit_breaker(shared_breaker_);
+}
+
+void ConcurrentQueryEngine::set_shared_breaker(CircuitBreaker* breaker) {
+  shared_breaker_ = breaker;
+  if (admission_ != nullptr) admission_->set_circuit_breaker(breaker);
+  // Rewire any engines already sitting in the pool (new ones are wired in
+  // Borrow).
+  MutexLock lock(pool_mutex_);
+  for (auto& engine : idle_) engine->set_circuit_breaker(breaker);
 }
 
 void ConcurrentQueryEngine::Return(std::unique_ptr<QueryEngine> engine) {
@@ -36,9 +52,43 @@ void ConcurrentQueryEngine::Return(std::unique_ptr<QueryEngine> engine) {
 
 QueryResult ConcurrentQueryEngine::ExecuteQuery(const Query& query,
                                                 QueryStats* stats) {
+  return ExecuteQuery(query, /*ctx=*/nullptr, stats);
+}
+
+QueryResult ConcurrentQueryEngine::ExecuteQuery(const Query& query,
+                                                ExecContext* ctx,
+                                                QueryStats* stats) {
+  QueryStats local;
+  QueryStats& s = stats != nullptr ? *stats : local;
+  double queue_wait_ms = 0.0;
+  const bool gated = admission_ != nullptr && ctx != nullptr;
+  if (gated) {
+    Stopwatch queue_timer;
+    const AdmissionOutcome outcome = admission_->Admit(*ctx);
+    queue_wait_ms = queue_timer.ElapsedMillis();
+    if (outcome != AdmissionOutcome::kAdmitted) {
+      // Resolved at the gate: typed result, no engine borrowed, no work
+      // done, no cache state touched.
+      s = QueryStats();
+      s.queue_wait_ms = queue_wait_ms;
+      QueryResult result;
+      if (outcome == AdmissionOutcome::kDeadlineExpiredInQueue) {
+        s.fetch_abort = ctx->cancel != nullptr && ctx->cancel->cancelled()
+                            ? FetchAbortReason::kCancelled
+                            : FetchAbortReason::kDeadlineExceeded;
+        s.status = ResultStatus::kDeadlineExceeded;
+      } else {
+        s.status = ResultStatus::kShedded;
+      }
+      result.status = s.status;
+      return result;
+    }
+  }
   std::unique_ptr<QueryEngine> engine = Borrow();
-  QueryResult result = engine->ExecuteQuery(query, stats);
+  QueryResult result = engine->ExecuteQuery(query, ctx, &s);
+  s.queue_wait_ms = queue_wait_ms;  // the engine resets stats; set after
   Return(std::move(engine));
+  if (gated) admission_->Release(ctx->query_class);
   queries_executed_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }

@@ -7,8 +7,10 @@
 #include <memory>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/query_engine.h"
 #include "core/single_flight.h"
+#include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -46,6 +48,29 @@ class ConcurrentQueryEngine {
   /// returned as with the underlying engine.
   QueryResult ExecuteQuery(const Query& query, QueryStats* stats);
 
+  /// Deadline/class-aware ExecuteQuery. When admission control is
+  /// configured and `ctx` is non-null, the call first passes the admission
+  /// gate: it may be shed (typed kShedded result, no engine borrowed, no
+  /// work done) or expire while queued (kDeadlineExceeded); once admitted
+  /// it holds one of the pool's slots for the duration of the query. The
+  /// queue wait is reported in QueryStats::queue_wait_ms. Null `ctx` (or no
+  /// admission controller) behaves like the 2-arg overload.
+  QueryResult ExecuteQuery(const Query& query, ExecContext* ctx,
+                           QueryStats* stats);
+
+  /// Enables admission control with `config`. Call before concurrent use;
+  /// replaces any previous controller (which must be idle).
+  void ConfigureAdmission(const AdmissionConfig& config);
+
+  /// The admission controller, or nullptr when not configured.
+  AdmissionController* admission() { return admission_.get(); }
+
+  /// Shares one circuit breaker across every pooled engine (and the
+  /// admission controller's breaker-open shedding), so all threads see the
+  /// same backend-health signal instead of each engine tripping its own.
+  /// Call before concurrent use; the breaker must outlive the pool.
+  void set_shared_breaker(CircuitBreaker* breaker);
+
   /// Queries executed so far (thread-safe).
   int64_t queries_executed() const {
     return queries_executed_.load(std::memory_order_relaxed);
@@ -68,6 +93,8 @@ class ConcurrentQueryEngine {
   EngineFactory factory_;
   SingleFlight single_flight_;
   RollupPlanCache rollup_plans_;
+  std::unique_ptr<AdmissionController> admission_;
+  CircuitBreaker* shared_breaker_ = nullptr;  // set before threads start
   mutable Mutex pool_mutex_;
   std::vector<std::unique_ptr<QueryEngine>> idle_ AAC_GUARDED_BY(pool_mutex_);
   int64_t engines_created_ AAC_GUARDED_BY(pool_mutex_) = 0;

@@ -68,8 +68,14 @@ ChunkData PlanExecutor::ExecuteNode(const PlanNode& node,
       sources.push_back(&owned.back());
     }
   }
-  return aggregator_->Aggregate(node.source_gb, sources, node.key.gb,
-                                node.key.chunk);
+  ChunkData out = aggregator_->Aggregate(node.source_gb, sources, node.key.gb,
+                                         node.key.chunk);
+  if (aggregator_->last_fold_cancelled()) {
+    result->cancelled = true;
+    *ok = false;
+    return {};
+  }
+  return out;
 }
 
 }  // namespace aac

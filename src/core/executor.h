@@ -17,6 +17,12 @@ struct ExecutionResult {
   /// advisory under concurrency, not guarantees.
   bool ok = true;
 
+  /// True when the plan was abandoned at a cooperative-cancellation
+  /// checkpoint (deadline expired or CancelToken fired mid-fold). Also
+  /// implies !ok, but the caller must NOT fall back to the backend — the
+  /// query is being torn down, not rerouted. Pins are released either way.
+  bool cancelled = false;
+
   ChunkData data;
 
   /// Source tuples folded by all aggregation steps of the plan — the actual

@@ -1,6 +1,7 @@
 #include "core/query_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "cache/replacement.h"
@@ -17,9 +18,50 @@ const char* ResultStatusName(ResultStatus status) {
       return "degraded-complete";
     case ResultStatus::kDegradedPartial:
       return "degraded-partial";
+    case ResultStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ResultStatus::kShedded:
+      return "shedded";
   }
   return "?";
 }
+
+const char* FetchAbortReasonName(FetchAbortReason reason) {
+  switch (reason) {
+    case FetchAbortReason::kNone:
+      return "none";
+    case FetchAbortReason::kBreakerOpen:
+      return "breaker-open";
+    case FetchAbortReason::kBreakerTripped:
+      return "breaker-tripped";
+    case FetchAbortReason::kAttemptsExhausted:
+      return "attempts-exhausted";
+    case FetchAbortReason::kRetryBudgetExhausted:
+      return "retry-budget-exhausted";
+    case FetchAbortReason::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case FetchAbortReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+// First cause wins: a query that detached from a single-flight wait on
+// deadline and then found the breaker open reports the deadline, not the
+// breaker.
+void NoteAbort(QueryStats& s, FetchAbortReason reason) {
+  if (s.fetch_abort == FetchAbortReason::kNone) s.fetch_abort = reason;
+}
+
+FetchAbortReason AbortReasonFor(const ExecContext& ctx) {
+  return ctx.cancel != nullptr && ctx.cancel->cancelled()
+             ? FetchAbortReason::kCancelled
+             : FetchAbortReason::kDeadlineExceeded;
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine(const ChunkGrid* grid, ChunkCache* cache,
                          LookupStrategy* strategy, Backend* backend,
@@ -49,8 +91,9 @@ QueryEngine::QueryEngine(const ChunkGrid* grid, ChunkCache* cache,
 std::string QueryEngine::ExplainQuery(const Query& query) {
   const GroupById gb = grid_->lattice().IdOf(query.level);
   const std::vector<ChunkId> chunks = ChunksForQuery(*grid_, query);
+  CircuitBreaker* breaker = circuit_breaker();
   const bool backend_trusted =
-      breaker_ == nullptr || breaker_->state() == BreakerState::kClosed;
+      breaker == nullptr || breaker->state() == BreakerState::kClosed;
   std::string out = "query ";
   out += query.ToString(grid_->schema());
   out += " -> ";
@@ -62,7 +105,7 @@ std::string QueryEngine::ExplainQuery(const Query& query) {
   out += "]";
   if (!backend_trusted) {
     out += " [breaker: ";
-    out += BreakerStateName(breaker_->state());
+    out += BreakerStateName(breaker->state());
     out += " — cache-only]";
   }
   out += "\n";
@@ -104,11 +147,13 @@ std::string QueryEngine::ExplainQuery(const Query& query) {
 std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
                                                  std::vector<ChunkId> pending,
                                                  std::vector<ChunkData>* fetched,
+                                                 ExecContext* ctx,
                                                  QueryStats* stats) {
   QueryStats& s = *stats;
   if (pending.empty()) return pending;
-  if (breaker_ != nullptr && !breaker_->AllowRequest()) {
-    s.backend_rejected = true;
+  CircuitBreaker* breaker = circuit_breaker();
+  if (breaker != nullptr && !breaker->AllowRequest()) {
+    NoteAbort(s, FetchAbortReason::kBreakerOpen);
     return pending;
   }
   // Simulated nanoseconds THIS query's calls and backoffs charged. The
@@ -118,12 +163,20 @@ std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
   int64_t spent = 0;
   int attempts = 0;
   while (!pending.empty()) {
+    // Deadline checkpoint before paying for another attempt: a query whose
+    // budget is gone resolves now instead of issuing a doomed fetch.
+    ++s.cancel_checks;
+    if (ctx->ShouldAbort()) {
+      NoteAbort(s, AbortReasonFor(*ctx));
+      break;
+    }
     ++attempts;
     ++s.backend_attempts;
     BackendResult result = backend_->ExecuteChunkQuery(gb, pending);
     spent += result.charged_nanos;
+    ctx->deadline.ChargeSimulated(result.charged_nanos);
     if (result.ok()) {
-      if (breaker_ != nullptr) breaker_->RecordSuccess();
+      if (breaker != nullptr) breaker->RecordSuccess();
       for (ChunkData& data : result.chunks) {
         auto it = std::find(pending.begin(), pending.end(), data.chunk);
         AAC_CHECK(it != pending.end());
@@ -134,32 +187,50 @@ std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
       // Partial result: the backend responded, so re-ask for the remainder
       // immediately — no backoff, but still under the attempt/deadline caps.
       if (!retry_.AllowRetry(attempts, spent)) {
-        s.backend_exhausted = true;
+        NoteAbort(s, attempts >= retry_.config().max_attempts
+                         ? FetchAbortReason::kAttemptsExhausted
+                         : FetchAbortReason::kRetryBudgetExhausted);
         break;
       }
       continue;
     }
-    if (breaker_ != nullptr) {
-      breaker_->RecordFailure();
-      if (breaker_->state() == BreakerState::kOpen) {
+    if (breaker != nullptr) {
+      breaker->RecordFailure();
+      if (breaker->state() == BreakerState::kOpen) {
         // Tripped (or a half-open probe failed): stop hammering the
         // backend; the query degrades now, later queries serve cache-only
         // until the cooldown elapses.
-        s.backend_exhausted = true;
+        NoteAbort(s, FetchAbortReason::kBreakerTripped);
         break;
       }
     }
     if (!retry_.AllowRetry(attempts, spent)) {
-      s.backend_exhausted = true;
+      NoteAbort(s, attempts >= retry_.config().max_attempts
+                       ? FetchAbortReason::kAttemptsExhausted
+                       : FetchAbortReason::kRetryBudgetExhausted);
       break;
     }
-    const int64_t backoff = retry_.BackoffNanos(attempts);
-    if (retry_.config().deadline_ns > 0 &&
-        spent + backoff > retry_.config().deadline_ns) {
-      s.backend_exhausted = true;
+    // Backoff, clamped to whichever budget runs out first: the retry
+    // policy's own time budget or the query's end-to-end deadline. A sleep
+    // that would consume the entire remaining budget leaves no room for the
+    // retry it precedes, so resolve immediately instead of napping up to
+    // the deadline — the jitter draw is consumed either way, keeping the
+    // seeded schedule deterministic.
+    const int64_t retry_remaining =
+        retry_.config().deadline_ns > 0
+            ? retry_.config().deadline_ns - spent
+            : std::numeric_limits<int64_t>::max();
+    const int64_t query_remaining = ctx->deadline.remaining_ns();
+    const int64_t remaining = std::min(retry_remaining, query_remaining);
+    const int64_t backoff = retry_.ClampedBackoffNanos(attempts, remaining);
+    if (backoff <= 0 || backoff >= remaining) {
+      NoteAbort(s, query_remaining < retry_remaining
+                       ? AbortReasonFor(*ctx)
+                       : FetchAbortReason::kRetryBudgetExhausted);
       break;
     }
     sim_clock_->Charge(backoff);
+    ctx->deadline.ChargeSimulated(backoff);
     spent += backoff;
   }
   s.backend_retries += attempts > 0 ? attempts - 1 : 0;
@@ -168,6 +239,13 @@ std::vector<ChunkId> QueryEngine::FetchWithRetry(GroupById gb,
 }
 
 QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
+  return ExecuteQuery(query, /*ctx=*/nullptr, stats);
+}
+
+QueryResult QueryEngine::ExecuteQuery(const Query& query, ExecContext* ctx,
+                                      QueryStats* stats) {
+  ExecContext unlimited;  // no deadline, no cancel token
+  if (ctx == nullptr) ctx = &unlimited;
   QueryStats local;
   QueryStats& s = stats != nullptr ? *stats : local;
   s = QueryStats();
@@ -177,11 +255,25 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
   const std::vector<ChunkId> chunks = ChunksForQuery(*grid_, query);
   s.chunks_requested = static_cast<int64_t>(chunks.size());
 
+  // Dead on arrival — the deadline was burned waiting in an admission
+  // queue, or the client is already gone: resolve immediately, typed,
+  // without touching cache state.
+  ++s.cancel_checks;
+  if (ctx->ShouldAbort()) {
+    result.unavailable = chunks;
+    s.chunks_unavailable = static_cast<int64_t>(chunks.size());
+    NoteAbort(s, AbortReasonFor(*ctx));
+    s.status = ResultStatus::kDeadlineExceeded;
+    result.status = s.status;
+    return result;
+  }
+
   // Degraded mode: with the breaker not closed, the backend is presumed
   // unreachable — every cache-computable chunk must be answered from the
   // cache, so the cost-based bypass (moot without a backend) is suspended.
+  CircuitBreaker* breaker = circuit_breaker();
   const bool backend_trusted =
-      breaker_ == nullptr || breaker_->state() == BreakerState::kClosed;
+      breaker == nullptr || breaker->state() == BreakerState::kClosed;
 
   // --- Lookup phase: probe the strategy for every chunk. ---
   Stopwatch lookup_timer;
@@ -240,7 +332,24 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
     std::vector<CacheKey> group;
   };
   std::vector<ComputedInfo> computed;
+  // Arm cooperative cancellation for the fold kernels: checkpoints fire
+  // every few thousand cells, and an aborted fold emits nothing (pins
+  // released by the executor, arena wiped by the aggregator) — the chunks
+  // that WERE emitted before the abort are bit-identical to an uncancelled
+  // run's.
+  bool aborted = false;
+  aggregator_.set_exec_context(ctx);
+  const int64_t agg_checks_before = aggregator_.cancel_checks();
   for (const auto& plan : plans) {
+    if (!aborted) {
+      ++s.cancel_checks;
+      aborted = ctx->ShouldAbort();
+    }
+    if (aborted) {
+      // Teardown: remaining chunks are neither computed nor fetched.
+      result.unavailable.push_back(plan->key.chunk);
+      continue;
+    }
     if (plan->cached) {
       ChunkData copy;
       if (cache_->GetCopy(plan->key, &copy)) {
@@ -255,6 +364,13 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
       continue;
     }
     ExecutionResult exec = executor_.Execute(*plan);
+    if (exec.cancelled) {
+      // Mid-fold abort. Do NOT reroute the chunk to the backend — the
+      // query is being torn down, not rerouted.
+      aborted = true;
+      result.unavailable.push_back(plan->key.chunk);
+      continue;
+    }
     if (!exec.ok) {
       // A planned input vanished mid-plan (concurrent eviction); the
       // executor released its pins and produced nothing for this chunk.
@@ -268,6 +384,8 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
     results.push_back(std::move(exec.data));
     ++s.chunks_aggregated;
   }
+  aggregator_.set_exec_context(nullptr);
+  s.cancel_checks += aggregator_.cancel_checks() - agg_checks_before;
   s.aggregation_ms = agg_timer.ElapsedMillis();
 
   // --- Backend phase: one SQL query for all missing chunks, retried with
@@ -275,11 +393,18 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
   // aborting. ---
   std::vector<ChunkData> backend_results;   // fetched by this query
   std::vector<ChunkData> coalesced_results; // from another query's fetch
-  s.complete_hit = missing.empty();
+  s.complete_hit = missing.empty() && !aborted;
+  if (aborted) {
+    // Torn down before the backend phase: missing chunks are unanswerable.
+    for (ChunkId chunk : missing) result.unavailable.push_back(chunk);
+    missing.clear();
+  }
   if (!missing.empty()) {
     if (single_flight_ == nullptr) {
-      result.unavailable =
-          FetchWithRetry(gb, std::move(missing), &backend_results, &s);
+      std::vector<ChunkId> failed =
+          FetchWithRetry(gb, std::move(missing), &backend_results, ctx, &s);
+      result.unavailable.insert(result.unavailable.end(), failed.begin(),
+                                failed.end());
     } else {
       // Single-flight: for each missing chunk either lead (this query will
       // fetch it and publish the result) or follow (another query's fetch
@@ -301,7 +426,7 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
       // is published (or failed) before this thread blocks, so two queries
       // leading/following each other's chunks cannot deadlock.
       std::vector<ChunkId> failed =
-          FetchWithRetry(gb, lead, &backend_results, &s);
+          FetchWithRetry(gb, lead, &backend_results, ctx, &s);
       for (const ChunkData& data : backend_results) {
         single_flight_->Publish(CacheKey{gb, data.chunk}, data);
       }
@@ -311,27 +436,44 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
       std::vector<ChunkId> retry_self;
       for (auto& [chunk, slot] : follow) {
         ChunkData data;
-        if (single_flight_->Await(*slot, &data)) {
-          ++s.chunks_coalesced;
-          coalesced_results.push_back(std::move(data));
-        } else {
-          // The leader failed; its failure may have been breaker- or
-          // deadline-local, so try once ourselves before giving up.
-          retry_self.push_back(chunk);
+        switch (single_flight_->AwaitWithDeadline(*slot, *ctx, &data)) {
+          case SingleFlight::AwaitStatus::kOk:
+            ++s.chunks_coalesced;
+            coalesced_results.push_back(std::move(data));
+            break;
+          case SingleFlight::AwaitStatus::kLeaderFailed:
+            // The leader failed; its failure may have been breaker- or
+            // deadline-local, so try once ourselves before giving up.
+            retry_self.push_back(chunk);
+            break;
+          case SingleFlight::AwaitStatus::kDeadline:
+            // This follower's own deadline fired before the leader's fetch
+            // landed: detach and give the chunk up. The leader keeps
+            // fetching, so the cache still warms for later queries.
+            ++s.sf_detached;
+            NoteAbort(s, AbortReasonFor(*ctx));
+            failed.push_back(chunk);
+            break;
         }
       }
       std::vector<ChunkId> still_failed =
-          FetchWithRetry(gb, std::move(retry_self), &backend_results, &s);
+          FetchWithRetry(gb, std::move(retry_self), &backend_results, ctx, &s);
       failed.insert(failed.end(), still_failed.begin(), still_failed.end());
-      result.unavailable = std::move(failed);
+      result.unavailable.insert(result.unavailable.end(), failed.begin(),
+                                failed.end());
     }
     s.chunks_backend =
         static_cast<int64_t>(backend_results.size() + coalesced_results.size());
   }
   s.chunks_unavailable = static_cast<int64_t>(result.unavailable.size());
 
-  // --- Update phase: admit new chunks to the cache. ---
+  // --- Update phase: admit new chunks to the cache. This runs even for a
+  // deadline-killed query — everything below was fully computed or fetched
+  // before the abort, and trashing it would waste the work the query
+  // already paid for (salvage: the aborted query still warms the cache for
+  // its successors). ---
   Stopwatch update_timer;
+  int64_t admitted = 0;
   if (config_.cache_computed_results || config_.boost_groups) {
     for (const ComputedInfo& info : computed) {
       const double benefit = benefit_->CacheComputedChunkBenefit(
@@ -339,6 +481,7 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
       if (config_.cache_computed_results) {
         cache_->Insert(results[info.result_index], benefit,
                        ChunkSource::kCacheComputed);
+        ++admitted;
       }
       if (config_.boost_groups) {
         const double boost = ReplacementPolicy::NormalizedWeight(benefit);
@@ -353,6 +496,7 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
     for (ChunkData& data : backend_results) {
       const double benefit = benefit_->BackendChunkBenefit(gb, data.chunk);
       cache_->Insert(data, benefit, ChunkSource::kBackend);
+      ++admitted;
     }
   }
   s.update_ms = update_timer.ElapsedMillis();
@@ -360,9 +504,21 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, QueryStats* stats) {
   for (ChunkData& data : backend_results) results.push_back(std::move(data));
   for (ChunkData& data : coalesced_results) results.push_back(std::move(data));
 
-  if (!result.unavailable.empty()) {
+  // A query that finished all its work but past its deadline still reports
+  // kDeadlineExceeded — the caller's goodput accounting needs the truth
+  // even when every chunk is attached.
+  ++s.cancel_checks;
+  const bool deadline_hit =
+      aborted || ctx->ShouldAbort() ||
+      s.fetch_abort == FetchAbortReason::kDeadlineExceeded ||
+      s.fetch_abort == FetchAbortReason::kCancelled;
+  if (deadline_hit) {
+    s.salvaged_chunks = admitted;
+    s.complete_hit = false;
+    s.status = ResultStatus::kDeadlineExceeded;
+  } else if (!result.unavailable.empty()) {
     s.status = ResultStatus::kDegradedPartial;
-  } else if (s.backend_rejected || s.backend_exhausted || !backend_trusted) {
+  } else if (s.fetch_abort != FetchAbortReason::kNone || !backend_trusted) {
     s.status = ResultStatus::kDegradedComplete;
   } else {
     s.status = ResultStatus::kOk;

@@ -14,6 +14,7 @@
 #include "core/retry_policy.h"
 #include "core/single_flight.h"
 #include "core/strategy.h"
+#include "util/deadline.h"
 #include "util/sim_clock.h"
 
 namespace aac {
@@ -27,9 +28,34 @@ enum class ResultStatus {
   kDegradedComplete,
   /// Some chunks could not be answered; see QueryResult::unavailable.
   kDegradedPartial,
+  /// The query's end-to-end deadline or cancel token fired mid-execution:
+  /// whatever finished is returned (and was admitted to the cache —
+  /// salvage), the rest is listed in QueryResult::unavailable.
+  kDeadlineExceeded,
+  /// Admission control refused the query outright (run queue full, or a
+  /// batch query while the breaker is open): no work was done and no
+  /// chunks are returned. Produced by ConcurrentQueryEngine, never by a
+  /// bare QueryEngine.
+  kShedded,
 };
 
 const char* ResultStatusName(ResultStatus status);
+
+/// Why the backend phase of a query stopped before answering every pending
+/// chunk (kNone: it didn't stop early). The first cause to fire wins; the
+/// old single `backend_exhausted` bool conflated all of these, which made
+/// shed-vs-breaker-vs-timeout invisible to callers and stats.
+enum class FetchAbortReason {
+  kNone,
+  kBreakerOpen,           // breaker refused up front; backend never contacted
+  kBreakerTripped,        // breaker opened mid-loop after this query's failures
+  kAttemptsExhausted,     // RetryConfig::max_attempts reached, chunks pending
+  kRetryBudgetExhausted,  // RetryConfig::deadline_ns time budget spent
+  kDeadlineExceeded,      // the query's end-to-end Deadline fired
+  kCancelled,             // the query's CancelToken fired
+};
+
+const char* FetchAbortReasonName(FetchAbortReason reason);
 
 /// Per-query timing and outcome breakdown (the paper's Figure 10 splits
 /// complete-hit query time into lookup, aggregation and update).
@@ -49,11 +75,35 @@ struct QueryStats {
                                   // aggregation_ms
 
   // Fault-path accounting.
-  int64_t backend_attempts = 0;   // backend calls issued for this query
-  int64_t backend_retries = 0;    // attempts beyond the first
-  bool backend_rejected = false;  // breaker open: backend never contacted
-  bool backend_exhausted = false; // retries/deadline exhausted mid-query
+  int64_t backend_attempts = 0;  // backend calls issued for this query
+  int64_t backend_retries = 0;   // attempts beyond the first
+  /// Why the backend phase stopped early, if it did. Replaces the old
+  /// `backend_rejected`/`backend_exhausted` bool pair with the precise
+  /// cause; the accessors below preserve the old two-way split.
+  FetchAbortReason fetch_abort = FetchAbortReason::kNone;
   ResultStatus status = ResultStatus::kOk;
+
+  /// Breaker was open up front: backend never contacted (old
+  /// `backend_rejected`).
+  bool backend_rejected() const {
+    return fetch_abort == FetchAbortReason::kBreakerOpen;
+  }
+  /// Backend was contacted but the fetch loop gave up mid-query (old
+  /// `backend_exhausted`): retries/budget exhausted, breaker tripped, or
+  /// the query's own deadline/cancel fired during the backend phase.
+  bool backend_exhausted() const {
+    return fetch_abort != FetchAbortReason::kNone &&
+           fetch_abort != FetchAbortReason::kBreakerOpen;
+  }
+
+  // Overload-path accounting.
+  int64_t cancel_checks = 0;    // cancellation checkpoints evaluated
+  int64_t salvaged_chunks = 0;  // chunks admitted to the cache by a query
+                                // that was cancelled / timed out ("don't
+                                // trash your intermediate results")
+  int64_t sf_detached = 0;      // single-flight waits abandoned because this
+                                // query's deadline fired before the leader
+  double queue_wait_ms = 0.0;   // admission-queue wait (pool engines only)
 
   double lookup_ms = 0.0;       // strategy probe + plan construction
   double aggregation_ms = 0.0;  // plan execution (incl. direct reads)
@@ -86,6 +136,8 @@ struct QueryResult {
   std::vector<ChunkData> chunks;
   std::vector<ChunkId> unavailable;
 
+  /// Not meaningful for kShedded: a shed query carries no chunks at all
+  /// (both lists empty), so check `status` before trusting complete().
   bool complete() const { return unavailable.empty(); }
 };
 
@@ -151,6 +203,19 @@ class QueryEngine {
   /// and `unavailable` list describe any degradation. `stats` may be null.
   QueryResult ExecuteQuery(const Query& query, QueryStats* stats);
 
+  /// Same, under an execution context carrying the query's end-to-end
+  /// deadline, cancel token and class. The deadline/token are honored
+  /// cooperatively at checkpoints (before each plan, every few thousand
+  /// cells inside fold kernels, before each backend attempt, and inside
+  /// retry backoff and single-flight waits); when one fires the query
+  /// resolves promptly with status kDeadlineExceeded, unanswered chunks
+  /// listed unavailable — and everything already computed or fetched is
+  /// still admitted to the cache (salvage), so an aborted query still warms
+  /// the cache for its successors. `ctx` may be null (no deadline);
+  /// `*ctx` is charged with this query's simulated backend nanos.
+  QueryResult ExecuteQuery(const Query& query, ExecContext* ctx,
+                           QueryStats* stats);
+
   /// EXPLAIN: describes how `query` *would* be answered right now — per
   /// chunk, the route (direct hit / aggregation / backend / bypass) and
   /// the aggregation plan — without executing anything or touching cache
@@ -160,8 +225,20 @@ class QueryEngine {
   LookupStrategy* strategy() { return strategy_; }
   const Config& config() const { return config_; }
 
-  /// The engine's breaker, or nullptr when Config::circuit_breaker is off.
-  CircuitBreaker* circuit_breaker() { return breaker_.get(); }
+  /// The breaker consulted by the fetch path: the shared override if one
+  /// was set, else the engine's own (nullptr when Config::circuit_breaker
+  /// is off and no override was set).
+  CircuitBreaker* circuit_breaker() {
+    return external_breaker_ != nullptr ? external_breaker_ : breaker_.get();
+  }
+
+  /// Overrides the engine's breaker with a shared one (e.g. one breaker for
+  /// a whole pool, so admission control and every engine see the same
+  /// backend-health signal). Null restores the engine's own breaker. The
+  /// breaker must outlive the engine.
+  void set_circuit_breaker(CircuitBreaker* breaker) {
+    external_breaker_ = breaker;
+  }
 
   /// Attaches a single-flight group shared by all engines over the same
   /// cache: concurrent fetches of the same (gb, chunk) coalesce into one
@@ -183,13 +260,15 @@ class QueryEngine {
   const Aggregator& aggregator() const { return aggregator_; }
 
  private:
-  /// Fetches `missing` chunks with retry/backoff under the breaker.
-  /// Successfully fetched chunks are appended to `fetched`; chunk ids that
-  /// could not be fetched remain in the returned vector.
+  /// Fetches `missing` chunks with retry/backoff under the breaker and the
+  /// query's deadline (backoff sleeps are clamped to the remaining budget
+  /// and the loop aborts, typed, once the deadline fires). Successfully
+  /// fetched chunks are appended to `fetched`; chunk ids that could not be
+  /// fetched remain in the returned vector.
   std::vector<ChunkId> FetchWithRetry(GroupById gb,
                                       std::vector<ChunkId> missing,
                                       std::vector<ChunkData>* fetched,
-                                      QueryStats* s);
+                                      ExecContext* ctx, QueryStats* s);
 
   const ChunkGrid* grid_;
   ChunkCache* cache_;
@@ -202,6 +281,7 @@ class QueryEngine {
   PlanExecutor executor_;
   RetryPolicy retry_;
   std::unique_ptr<CircuitBreaker> breaker_;
+  CircuitBreaker* external_breaker_ = nullptr;
   SingleFlight* single_flight_ = nullptr;
 };
 

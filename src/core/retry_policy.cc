@@ -28,6 +28,13 @@ int64_t RetryPolicy::BackoffNanos(int retry_number) {
   return static_cast<int64_t>(base * factor);
 }
 
+int64_t RetryPolicy::ClampedBackoffNanos(int retry_number,
+                                         int64_t remaining_ns) {
+  const int64_t backoff = BackoffNanos(retry_number);
+  if (remaining_ns <= 0) return 0;
+  return std::min(backoff, remaining_ns);
+}
+
 bool RetryPolicy::AllowRetry(int attempts_made, int64_t spent_ns) const {
   if (attempts_made >= config_.max_attempts) return false;
   if (config_.deadline_ns > 0 && spent_ns >= config_.deadline_ns) return false;

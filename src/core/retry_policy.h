@@ -42,6 +42,16 @@ class RetryPolicy {
   /// before the second attempt is retry 1). Capped exponential with jitter.
   int64_t BackoffNanos(int retry_number);
 
+  /// BackoffNanos clamped to the caller's remaining budget: never sleep
+  /// longer than `remaining_ns` (the smaller of the retry time budget and
+  /// the query's end-to-end deadline). Returns 0 when no budget remains —
+  /// without the clamp, a 64 ms backoff step would blithely overshoot a
+  /// query with 5 ms left, stalling the client past its deadline for a
+  /// retry that could never be used. Consumes one jitter draw exactly like
+  /// BackoffNanos, so a given seed yields the same schedule whether or not
+  /// clamping fires.
+  int64_t ClampedBackoffNanos(int retry_number, int64_t remaining_ns);
+
   /// True if another attempt is allowed after `attempts_made` attempts
   /// with `spent_ns` of the deadline budget already consumed.
   bool AllowRetry(int attempts_made, int64_t spent_ns) const;

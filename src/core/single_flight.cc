@@ -1,5 +1,7 @@
 #include "core/single_flight.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace aac {
@@ -50,6 +52,35 @@ bool SingleFlight::Await(Slot& slot, ChunkData* out) {
   *out = slot.data;
   coalesced_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+SingleFlight::AwaitStatus SingleFlight::AwaitWithDeadline(
+    Slot& slot, const ExecContext& ctx, ChunkData* out) {
+  // Cancel tokens have no wakeup channel of their own, so a token-only
+  // context polls at this granularity. Deadline-bearing contexts wake
+  // exactly at expiry (or earlier, on publish).
+  constexpr int64_t kCancelPollNanos = 2'000'000;
+  MutexLock lock(slot.mutex);
+  while (!slot.done) {
+    if (ctx.ShouldAbort()) {
+      detached_.fetch_add(1, std::memory_order_relaxed);
+      return AwaitStatus::kDeadline;
+    }
+    if (!ctx.deadline.has_deadline() && ctx.cancel == nullptr) {
+      slot.cv.Wait(slot.mutex);
+      continue;
+    }
+    // Bounded slices: remaining_ns() is effectively infinite without a
+    // deadline, and wait_for on a huge duration overflows the clock.
+    int64_t wait_ns =
+        std::min(ctx.deadline.remaining_ns(), int64_t{1'000'000'000});
+    if (ctx.cancel != nullptr) wait_ns = std::min(wait_ns, kCancelPollNanos);
+    slot.cv.WaitForNanos(slot.mutex, wait_ns);
+  }
+  if (!slot.ok) return AwaitStatus::kLeaderFailed;
+  *out = slot.data;
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  return AwaitStatus::kOk;
 }
 
 }  // namespace aac

@@ -8,6 +8,7 @@
 
 #include "cache/cache_entry.h"
 #include "storage/chunk_data.h"
+#include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -64,10 +65,35 @@ class SingleFlight {
   /// false on leader failure.
   bool Await(Slot& slot, ChunkData* out);
 
+  /// How AwaitWithDeadline resolved.
+  enum class AwaitStatus {
+    kOk,            // leader published; *out holds the chunk
+    kLeaderFailed,  // leader's fetch failed; follower may fetch itself
+    kDeadline,      // the FOLLOWER's own deadline/cancel fired first — it
+                    // detaches and gives up on the chunk; the leader keeps
+                    // fetching and still warms the cache for later queries
+  };
+
+  /// Follower: Await bounded by the follower's own context. The wait wakes
+  /// at least every `ctx.deadline.remaining_ns()` (or on cancel-poll
+  /// granularity when only a CancelToken is set), so a follower whose
+  /// deadline fires before the leader's fetch lands detaches cleanly
+  /// instead of blocking — counted in detached(). Detaching mutates no slot
+  /// state: the slot is shared_ptr-owned, and Publish/Fail never care how
+  /// many followers are still listening.
+  AwaitStatus AwaitWithDeadline(Slot& slot, const ExecContext& ctx,
+                                ChunkData* out);
+
   /// Fetches answered by another thread's backend call (coalesced waits
   /// that received data).
   int64_t coalesced() const {
     return coalesced_.load(std::memory_order_relaxed);
+  }
+
+  /// Follower waits abandoned because the follower's own deadline or
+  /// cancel fired before the leader resolved the slot.
+  int64_t detached() const {
+    return detached_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -77,6 +103,7 @@ class SingleFlight {
   std::unordered_map<CacheKey, std::shared_ptr<Slot>, CacheKeyHash> inflight_
       AAC_GUARDED_BY(mutex_);
   std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> detached_{0};
 };
 
 }  // namespace aac

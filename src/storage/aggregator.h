@@ -9,6 +9,7 @@
 #include "storage/chunk_data.h"
 #include "storage/rollup_plan.h"
 #include "storage/tuple.h"
+#include "util/deadline.h"
 
 namespace aac {
 
@@ -58,11 +59,30 @@ class Aggregator {
   /// lookup + fold + emit) — the `fold_ns` component of per-query stats.
   int64_t fold_nanos() const { return fold_nanos_; }
 
-  /// Resets the tuples_processed() and fold_nanos() counters.
+  /// Resets the tuples_processed(), fold_nanos() and cancel_checks()
+  /// counters.
   void ResetCounters() {
     tuples_processed_ = 0;
     fold_nanos_ = 0;
+    cancel_checks_ = 0;
   }
+
+  /// Arms cooperative cancellation: while `ctx` is non-null, the fold loops
+  /// evaluate ctx->ShouldAbort() every few thousand cells and abandon the
+  /// fold when it fires — pins are the executor's concern, but the arena is
+  /// wiped here so the next fold starts clean, and the aborted fold's
+  /// output is discarded (never a torn chunk). Null (the default) folds
+  /// uncancellably with zero per-cell overhead. The engine sets this per
+  /// query; the pointer must outlive the calls made under it.
+  void set_exec_context(const ExecContext* ctx) { exec_context_ = ctx; }
+
+  /// True when the most recent Aggregate* call was abandoned at a
+  /// cancellation checkpoint; its returned ChunkData is empty and must be
+  /// discarded.
+  bool last_fold_cancelled() const { return last_fold_cancelled_; }
+
+  /// Cumulative cancellation checkpoints evaluated inside fold loops.
+  int64_t cancel_checks() const { return cancel_checks_; }
 
   /// Shares `cache` as the rollup-plan cache (e.g. one cache for a whole
   /// engine pool). Null restores the aggregator's private cache. The cache
@@ -90,15 +110,29 @@ class Aggregator {
   int64_t arena_dense_capacity() const { return arena_.dense_capacity(); }
 
  private:
-  void FoldSpans(const RollupPlan& plan,
+  /// Folds all spans into the accumulator. Returns false when a
+  /// cancellation checkpoint fired mid-fold; the accumulator is then empty
+  /// and the arena has been wiped. Updates tuples_processed_ with the span
+  /// cells actually merged.
+  bool FoldSpans(const RollupPlan& plan,
                  const std::vector<std::span<const Cell>>& spans,
                  std::vector<Cell>* accumulator);
+
+  /// One cancellation checkpoint: true = abort the fold now.
+  bool CancelCheckpoint() {
+    if (exec_context_ == nullptr) return false;
+    ++cancel_checks_;
+    return exec_context_->ShouldAbort();
+  }
 
   const ChunkGrid* grid_;
   RollupPlanCache owned_plan_cache_;
   RollupPlanCache* plan_cache_;
   FoldArena arena_;
   FoldInfo last_fold_;
+  const ExecContext* exec_context_ = nullptr;
+  bool last_fold_cancelled_ = false;
+  int64_t cancel_checks_ = 0;
   int64_t tuples_processed_ = 0;
   int64_t fold_nanos_ = 0;
 };

@@ -1,7 +1,9 @@
 #ifndef AAC_UTIL_MUTEX_H_
 #define AAC_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -127,6 +129,22 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership returns to the caller's scope
+  }
+
+  /// Like Wait, but gives up after `nanos` of real time. Returns true when
+  /// notified, false on timeout (<= 0 nanos times out immediately without
+  /// releasing the mutex). Spurious wakeups are possible either way;
+  /// callers loop on their predicate and their remaining budget — this is
+  /// the primitive behind every deadline-bounded wait (single-flight
+  /// followers, admission queues), so no waiter can block past its query's
+  /// deadline.
+  bool WaitForNanos(Mutex& mu, int64_t nanos) AAC_REQUIRES(mu) {
+    if (nanos <= 0) return false;
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::nanoseconds(nanos));
+    lock.release();  // ownership returns to the caller's scope
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

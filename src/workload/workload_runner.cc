@@ -17,7 +17,14 @@ void AccumulateStats(const QueryStats& stats, WorkloadTotals* totals) {
       stats.status == ResultStatus::kDegradedPartial ? 1 : 0;
   totals->backend_attempts += stats.backend_attempts;
   totals->backend_retries += stats.backend_retries;
-  totals->breaker_rejected += stats.backend_rejected ? 1 : 0;
+  totals->breaker_rejected += stats.backend_rejected() ? 1 : 0;
+  totals->shedded += stats.status == ResultStatus::kShedded ? 1 : 0;
+  totals->deadline_exceeded +=
+      stats.status == ResultStatus::kDeadlineExceeded ? 1 : 0;
+  totals->salvaged_chunks += stats.salvaged_chunks;
+  totals->cancel_checks += stats.cancel_checks;
+  totals->sf_detached += stats.sf_detached;
+  totals->queue_wait_ms += stats.queue_wait_ms;
   totals->lookup_ms += stats.lookup_ms;
   totals->aggregation_ms += stats.aggregation_ms;
   totals->fold_ms += static_cast<double>(stats.fold_ns) / 1e6;

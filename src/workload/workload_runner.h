@@ -30,6 +30,14 @@ struct WorkloadTotals {
   int64_t backend_retries = 0;
   int64_t breaker_rejected = 0;   // queries that never reached the backend
 
+  // Overload-path outcomes (all zero without deadlines/admission control).
+  int64_t shedded = 0;            // refused by admission control
+  int64_t deadline_exceeded = 0;  // deadline or cancel fired mid-query
+  int64_t salvaged_chunks = 0;    // chunks a killed query still cached
+  int64_t cancel_checks = 0;      // cancellation checkpoints evaluated
+  int64_t sf_detached = 0;        // single-flight waits dropped on deadline
+  double queue_wait_ms = 0.0;     // total admission-queue wait
+
   double lookup_ms = 0.0;
   double aggregation_ms = 0.0;
   double fold_ms = 0.0;  // rollup-kernel time, a subset of aggregation_ms

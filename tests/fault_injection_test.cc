@@ -295,8 +295,11 @@ TEST(FaultPath, RetryExhaustionDegradesInsteadOfAborting) {
             stats.chunks_requested);
   EXPECT_EQ(stats.backend_attempts, 3);
   EXPECT_EQ(stats.backend_retries, 2);
-  EXPECT_TRUE(stats.backend_exhausted);
-  EXPECT_FALSE(stats.backend_rejected);
+  // Typed reason: the attempt cap stopped the loop — not the breaker, not
+  // a deadline (the old backend_exhausted bool conflated all three).
+  EXPECT_EQ(stats.fetch_abort, FetchAbortReason::kAttemptsExhausted);
+  EXPECT_TRUE(stats.backend_exhausted());
+  EXPECT_FALSE(stats.backend_rejected());
   EXPECT_EQ(stats.chunks_unavailable, stats.chunks_requested);
 }
 
@@ -319,7 +322,8 @@ TEST(FaultPath, BreakerTripsMidQueryThenRejectsThenProbes) {
   QueryResult first = engine.ExecuteQuery(q, &stats);
   EXPECT_EQ(first.status, ResultStatus::kDegradedPartial);
   EXPECT_EQ(stats.backend_attempts, 2);
-  EXPECT_TRUE(stats.backend_exhausted);
+  EXPECT_EQ(stats.fetch_abort, FetchAbortReason::kBreakerTripped);
+  EXPECT_TRUE(stats.backend_exhausted());
   EXPECT_EQ(engine.circuit_breaker()->state(), BreakerState::kOpen);
   EXPECT_EQ(engine.circuit_breaker()->stats().trips, 1);
 
@@ -327,7 +331,9 @@ TEST(FaultPath, BreakerTripsMidQueryThenRejectsThenProbes) {
   QueryResult second = engine.ExecuteQuery(q, &stats);
   EXPECT_EQ(second.status, ResultStatus::kDegradedPartial);
   EXPECT_EQ(stats.backend_attempts, 0);
-  EXPECT_TRUE(stats.backend_rejected);
+  EXPECT_EQ(stats.fetch_abort, FetchAbortReason::kBreakerOpen);
+  EXPECT_TRUE(stats.backend_rejected());
+  EXPECT_FALSE(stats.backend_exhausted());
   EXPECT_GE(engine.circuit_breaker()->stats().rejected, 1);
 
   // After the cooldown a half-open probe is let through; with the backend
@@ -513,12 +519,12 @@ TEST(FaultPath, ReturnedChunksMatchGroundTruthUnderFaults) {
 }
 
 // One query's observable fault-path outcome, for trace comparisons.
-using TraceRow = std::tuple<int64_t, int64_t, bool, bool, int, int64_t,
+using TraceRow = std::tuple<int64_t, int64_t, int, int, int64_t,
                             int64_t, int64_t>;
 
 TraceRow Row(const QueryStats& s) {
-  return TraceRow(s.backend_attempts, s.backend_retries, s.backend_rejected,
-                  s.backend_exhausted, static_cast<int>(s.status),
+  return TraceRow(s.backend_attempts, s.backend_retries,
+                  static_cast<int>(s.fetch_abort), static_cast<int>(s.status),
                   s.chunks_unavailable, s.chunks_backend, s.chunks_requested);
 }
 

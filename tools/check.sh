@@ -9,8 +9,10 @@
 #   tools/check.sh plain       # plain only
 #   tools/check.sh asan        # ASan+UBSan only
 #   tools/check.sh tsan        # TSan concurrency suite only
-#   tools/check.sh bench-smoke # rollup-kernel smoke + kernel suite under
+#   tools/check.sh robustness  # overload/deadline/admission suite under
 #                              # ASan+UBSan and TSan
+#   tools/check.sh bench-smoke # rollup-kernel + overload-storm smoke and
+#                              # the kernel suite under ASan+UBSan and TSan
 #   tools/check.sh lint        # the lint wall (tools/lint.sh): repo
 #                              # invariants always; clang thread-safety
 #                              # analysis and clang-tidy when LLVM is
@@ -49,19 +51,39 @@ run_tsan() {
   echo "=== tsan: OK ==="
 }
 
-# Sanitized gate for the rollup kernel: build the rollup_kernel bench and
-# the "kernel"-labeled tests under ASan+UBSan and TSan, run the bench in
-# --smoke mode (tiny sizes; exits nonzero if the plan kernel and the naive
-# reference kernel disagree on any cell) and the kernel test label.
+# Sanitized gate for the overload surface: run the "robustness"-labeled
+# suite (deadlines, cancellation, admission control, retry clamping, the
+# overload storm) under ASan+UBSan and then TSan. Deadline/cancel bugs are
+# exactly the kind that only show up as a use-after-free of a torn-down
+# query or a data race in an abort path, so this label gets both sanitizers.
+run_robustness() {
+  local name="$1" build_dir="$2" sanitize="$3"
+  echo "=== robustness/${name}: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  echo "=== robustness/${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== robustness/${name}: ctest (-L robustness) ==="
+  (cd "${build_dir}" && ctest -L robustness --output-on-failure -j "${jobs}")
+  echo "=== robustness/${name}: OK ==="
+}
+
+# Sanitized gate for the rollup kernel: build the rollup_kernel and
+# overload_storm benches plus the "kernel"-labeled tests under ASan+UBSan
+# and TSan, run both benches in --smoke mode (tiny sizes; each exits
+# nonzero if its internal assertions fail — kernel-vs-reference equality
+# for rollup_kernel, goodput/typed-resolution/zero-pin invariants for
+# overload_storm) and the kernel test label.
 run_bench_smoke() {
   local name="$1" build_dir="$2" sanitize="$3"
   echo "=== bench-smoke/${name}: configure ==="
   cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
   echo "=== bench-smoke/${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}" --target rollup_kernel \
-    aggregator_test rollup_plan_test
+    overload_storm aggregator_test rollup_plan_test
   echo "=== bench-smoke/${name}: rollup_kernel --smoke ==="
   "${build_dir}/bench/rollup_kernel" --smoke
+  echo "=== bench-smoke/${name}: overload_storm --smoke ==="
+  "${build_dir}/bench/overload_storm" --smoke
   echo "=== bench-smoke/${name}: ctest (-L kernel) ==="
   (cd "${build_dir}" && ctest -L kernel --output-on-failure -j "${jobs}")
   echo "=== bench-smoke/${name}: OK ==="
@@ -77,6 +99,10 @@ case "${mode}" in
   tsan)
     run_tsan
     ;;
+  robustness)
+    run_robustness "asan+ubsan" "${repo_root}/build-asan" ON
+    run_robustness "tsan" "${repo_root}/build-tsan" thread
+    ;;
   bench-smoke)
     run_bench_smoke "asan+ubsan" "${repo_root}/build-asan" ON
     run_bench_smoke "tsan" "${repo_root}/build-tsan" thread
@@ -91,7 +117,7 @@ case "${mode}" in
     run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|bench-smoke|lint|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|robustness|bench-smoke|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -26,7 +26,15 @@ it enforces the invariants that keep the clang gate meaningful:
       SingleFlight, the sharded ChunkCache, RollupPlanCache, raw
       std::thread) must carry the "concurrency" ctest label, because
       tools/check.sh tsan only runs that label — an unlabeled concurrent
-      test never sees ThreadSanitizer.
+      test never sees ThreadSanitizer. Likewise, tests that exercise the
+      overload surface (deadlines/cancellation via util/deadline.h, the
+      admission controller) must carry the "robustness" label, which
+      tools/check.sh robustness runs under ASan/UBSan and TSan.
+  R6  Raw std::this_thread::sleep_for is banned outside src/util/sleep.h.
+      Every wait must go through the clock-aware helpers (SleepForNanos /
+      SleepForNanosClamped) or a deadline-bounded CondVar wait — a naked
+      sleep deep in a retry or polling loop is invisible to the deadline
+      machinery and happily oversleeps a query's remaining budget.
 
 Exit status 0 with no output (beyond the summary) when clean; 1 with one
 line per finding otherwise.
@@ -147,6 +155,22 @@ ANNOTATION_TABLE = [
     ("src/core/concurrent_engine.h",
      r"idle_\s+AAC_GUARDED_BY\(pool_mutex_\)",
      "ConcurrentQueryEngine::idle_ must be AAC_GUARDED_BY(pool_mutex_)"),
+    # Admission controller: every slot/queue counter mutates under the one
+    # admission mutex; the capacity predicate assumes it is held.
+    ("src/core/admission.h",
+     r"running_\s+AAC_GUARDED_BY\(mutex_\)",
+     "AdmissionController::running_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/core/admission.h",
+     r"queued_interactive_\s+AAC_GUARDED_BY\(mutex_\)",
+     "AdmissionController::queued_interactive_ must be "
+     "AAC_GUARDED_BY(mutex_)"),
+    ("src/core/admission.h",
+     r"queued_batch_\s+AAC_GUARDED_BY\(mutex_\)",
+     "AdmissionController::queued_batch_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/core/admission.h",
+     r"HasCapacityLocked\([^;]*\)[^;]*AAC_REQUIRES\(mutex_\)",
+     "AdmissionController::HasCapacityLocked must carry "
+     "AAC_REQUIRES(mutex_)"),
     # Rollup plan cache.
     ("src/storage/rollup_plan.h",
      r"plans_\s*\n?\s*AAC_GUARDED_BY\(mutex_\)",
@@ -213,7 +237,7 @@ def check_fold_hot_path():
 
 
 # --------------------------------------------------------------------------
-# R4 + R5: test registration and concurrency-label audit.
+# R4 + R5: test registration and label audits.
 # --------------------------------------------------------------------------
 
 CONCURRENCY_MARKERS = re.compile(
@@ -223,6 +247,16 @@ CONCURRENCY_MARKERS = re.compile(
     r"|\"cache/chunk_cache\.h\""
     r"|\"storage/rollup_plan\.h\""
     r"|\"workload/parallel_runner\.h\")"
+)
+
+# Tests that drive the overload surface directly (deadlines, cancellation,
+# admission) belong to the robustness label — tools/check.sh robustness runs
+# that label under ASan/UBSan and TSan builds.
+ROBUSTNESS_MARKERS = re.compile(
+    r"#\s*include\s*(\"core/admission\.h\""
+    r"|\"util/deadline\.h\""
+    r"|\"core/retry_policy\.h\""
+    r"|\"backend/fault_injector\.h\")"
 )
 
 
@@ -247,12 +281,45 @@ def check_test_registry():
                     f"tests/{name}.cc is not registered via aac_add_test — "
                     "it will never build or run")
             continue
-        if CONCURRENCY_MARKERS.search(path.read_text(encoding="utf-8")):
+        text = path.read_text(encoding="utf-8")
+        if CONCURRENCY_MARKERS.search(text):
             if "concurrency" not in registered[name]:
                 finding(path, 1, "R5-concurrency-label",
                         f"{name} exercises the concurrent core but is not "
                         "labeled \"concurrency\" — tools/check.sh tsan will "
                         "never run it under ThreadSanitizer")
+        if ROBUSTNESS_MARKERS.search(text):
+            if "robustness" not in registered[name]:
+                finding(path, 1, "R5-robustness-label",
+                        f"{name} exercises the overload surface (deadlines/"
+                        "admission/retries/faults) but is not labeled "
+                        "\"robustness\" — tools/check.sh robustness will "
+                        "never run it under the sanitizers")
+
+
+# --------------------------------------------------------------------------
+# R6: raw sleep_for banned outside the clock-aware helper.
+# --------------------------------------------------------------------------
+
+SLEEP_WRAPPER = REPO / "src" / "util" / "sleep.h"
+
+
+def check_raw_sleeps():
+    roots = [REPO / d for d in ("src", "bench", "tests", "tools")]
+    for root in roots:
+        if not root.exists():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".h", ".cc") or path == SLEEP_WRAPPER:
+                continue
+            for lineno, code in source_lines(path):
+                if "sleep_for" in code or re.search(r"\busleep\s*\(", code):
+                    finding(
+                        path, lineno, "R6-raw-sleep",
+                        "raw sleep outside src/util/sleep.h — use "
+                        "SleepForNanos / SleepForNanosClamped (deadline-aware)"
+                        " or a bounded CondVar wait",
+                    )
 
 
 def main():
@@ -261,6 +328,7 @@ def main():
     check_by_value_accessors()
     check_fold_hot_path()
     check_test_registry()
+    check_raw_sleeps()
     if findings:
         for line in findings:
             print(line)
