@@ -28,6 +28,7 @@ std::unique_ptr<QueryEngine> ConcurrentQueryEngine::Borrow() {
   engine->set_single_flight(&single_flight_);
   engine->set_rollup_plan_cache(&rollup_plans_);
   if (shared_breaker_ != nullptr) engine->set_circuit_breaker(shared_breaker_);
+  if (result_cache_ != nullptr) engine->set_result_cache(result_cache_);
   return engine;
 }
 
@@ -43,6 +44,14 @@ void ConcurrentQueryEngine::set_shared_breaker(CircuitBreaker* breaker) {
   // Borrow).
   MutexLock lock(pool_mutex_);
   for (auto& engine : idle_) engine->set_circuit_breaker(breaker);
+}
+
+void ConcurrentQueryEngine::set_result_cache(ResultCache* result_cache) {
+  result_cache_ = result_cache;
+  // Rewire any engines already sitting in the pool (new ones are wired in
+  // Borrow).
+  MutexLock lock(pool_mutex_);
+  for (auto& engine : idle_) engine->set_result_cache(result_cache);
 }
 
 void ConcurrentQueryEngine::Return(std::unique_ptr<QueryEngine> engine) {

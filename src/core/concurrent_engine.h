@@ -71,6 +71,13 @@ class ConcurrentQueryEngine {
   /// Call before concurrent use; the breaker must outlive the pool.
   void set_shared_breaker(CircuitBreaker* breaker);
 
+  /// Shares one semantic result cache across every pooled engine, so any
+  /// thread's finished fold can answer any other thread's equivalent query.
+  /// Call before concurrent use; the cache must outlive the pool. The
+  /// caller also registers it as a chunk-cache listener for the
+  /// replace-in-place staleness hook.
+  void set_result_cache(ResultCache* result_cache);
+
   /// Queries executed so far (thread-safe).
   int64_t queries_executed() const {
     return queries_executed_.load(std::memory_order_relaxed);
@@ -95,6 +102,7 @@ class ConcurrentQueryEngine {
   RollupPlanCache rollup_plans_;
   std::unique_ptr<AdmissionController> admission_;
   CircuitBreaker* shared_breaker_ = nullptr;  // set before threads start
+  ResultCache* result_cache_ = nullptr;       // set before threads start
   mutable Mutex pool_mutex_;
   std::vector<std::unique_ptr<QueryEngine>> idle_ AAC_GUARDED_BY(pool_mutex_);
   int64_t engines_created_ AAC_GUARDED_BY(pool_mutex_) = 0;

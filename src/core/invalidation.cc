@@ -4,8 +4,9 @@
 
 namespace aac {
 
-CacheInvalidator::CacheInvalidator(const ChunkGrid* grid, ChunkCache* cache)
-    : grid_(grid), cache_(cache) {
+CacheInvalidator::CacheInvalidator(const ChunkGrid* grid, ChunkCache* cache,
+                                   ResultCache* results)
+    : grid_(grid), cache_(cache), results_(results) {
   AAC_CHECK(grid != nullptr);
   AAC_CHECK(cache != nullptr);
 }
@@ -22,16 +23,19 @@ int64_t CacheInvalidator::InvalidateForBaseChunks(
       if (cache_->Remove({gb, affected})) ++dropped;
     }
   }
+  if (results_ != nullptr) {
+    dropped += results_->InvalidateForBaseChunks(*grid_, base_chunks);
+  }
   return dropped;
 }
 
 int64_t ApplyFactUpdates(FactTable* table, ChunkCache* cache,
-                         std::vector<Cell> new_tuples) {
+                         std::vector<Cell> new_tuples, ResultCache* results) {
   AAC_CHECK(table != nullptr);
   AAC_CHECK(cache != nullptr);
   const std::vector<ChunkId> affected =
       table->ApplyInserts(std::move(new_tuples));
-  CacheInvalidator invalidator(&table->grid(), cache);
+  CacheInvalidator invalidator(&table->grid(), cache, results);
   return invalidator.InvalidateForBaseChunks(affected);
 }
 

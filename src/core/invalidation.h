@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cache/chunk_cache.h"
+#include "cache/result_cache.h"
 #include "chunks/chunk_grid.h"
 #include "storage/fact_table.h"
 
@@ -23,23 +24,34 @@ namespace aac {
 /// cache's eviction listeners.
 class CacheInvalidator {
  public:
-  /// `grid` and `cache` must outlive the invalidator.
-  CacheInvalidator(const ChunkGrid* grid, ChunkCache* cache);
+  /// `grid` and `cache` must outlive the invalidator. `results` (optional,
+  /// may be null) is the semantic result cache riding above the chunk
+  /// cache: base writes must also drop every stored query answer derived
+  /// from a changed base chunk. This is an explicit call rather than a
+  /// cache-listener ride-along because from the listener's vantage an
+  /// invalidation Remove is indistinguishable from a capacity eviction —
+  /// and capacity evictions must NOT drop results (see DESIGN.md §12).
+  CacheInvalidator(const ChunkGrid* grid, ChunkCache* cache,
+                   ResultCache* results = nullptr);
 
-  /// Removes every cached chunk derived from any of `base_chunks`.
-  /// Returns the number of cache entries dropped.
+  /// Removes every cached chunk — and every cached query answer, when a
+  /// result cache is attached — derived from any of `base_chunks`.
+  /// Returns the total number of entries dropped across both layers.
   int64_t InvalidateForBaseChunks(std::span<const ChunkId> base_chunks);
 
  private:
   const ChunkGrid* grid_;
   ChunkCache* cache_;
+  ResultCache* results_;
 };
 
 /// Applies a batch of new fact tuples to `table` and invalidates the
-/// affected cached chunks: the full middle-tier update protocol. Returns
-/// the number of cache entries dropped.
+/// affected cached chunks (and cached query answers, when `results` is
+/// non-null): the full middle-tier update protocol. Returns the number of
+/// entries dropped across both cache layers.
 int64_t ApplyFactUpdates(FactTable* table, ChunkCache* cache,
-                         std::vector<Cell> new_tuples);
+                         std::vector<Cell> new_tuples,
+                         ResultCache* results = nullptr);
 
 }  // namespace aac
 

@@ -2,6 +2,7 @@
 #define AAC_CORE_QUERY_H_
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +42,39 @@ struct Query {
 
   /// "(1,0) p=[0,4) t=[2,3)" rendering for logs.
   std::string ToString(const Schema& schema) const;
+
+  /// Queries are equal iff they denote the same request: same level vector,
+  /// same aggregate function, same range per *live* dimension. Range slots
+  /// at and beyond level.size() are dead storage and deliberately ignored —
+  /// comparing them would make equality sensitive to how the struct was
+  /// built (and to garbage in unused slots) rather than to what the query
+  /// asks. Slice/predicate order cannot affect equality because `ranges` is
+  /// positional; textual orderings are normalized by the parser.
+  friend bool operator==(const Query& a, const Query& b) {
+    if (a.level != b.level || a.fn != b.fn) return false;
+    for (int d = 0; d < a.level.size(); ++d) {
+      if (a.ranges[static_cast<size_t>(d)] != b.ranges[static_cast<size_t>(d)])
+        return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Query& a, const Query& b) { return !(a == b); }
+};
+
+/// Hash consistent with Query::operator== (same live-slot discipline).
+struct QueryHash {
+  size_t operator()(const Query& q) const {
+    size_t h = q.level.Hash() * 31u + static_cast<size_t>(q.fn);
+    for (int d = 0; d < q.level.size(); ++d) {
+      h = h * 1000003u +
+          static_cast<size_t>(
+              static_cast<uint32_t>(q.ranges[static_cast<size_t>(d)].first));
+      h = h * 1000003u +
+          static_cast<size_t>(
+              static_cast<uint32_t>(q.ranges[static_cast<size_t>(d)].second));
+    }
+    return h;
+  }
 };
 
 /// The chunks of the query's group-by that overlap its ranges — the unit of

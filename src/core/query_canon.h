@@ -1,0 +1,39 @@
+#ifndef AAC_CORE_QUERY_CANON_H_
+#define AAC_CORE_QUERY_CANON_H_
+
+#include "cache/result_cache.h"
+#include "core/query.h"
+#include "schema/schema.h"
+
+namespace aac {
+
+/// Canonicalizes a query into its result-cache key (ALGORITHMS.md,
+/// "Query canonicalization"). Two queries get the same key iff they denote
+/// the same answer:
+///
+///  - Predicate/slice order cannot matter: `Query::ranges` is positional
+///    (one slot per dimension), and the parser folds duplicate WHERE items
+///    by range intersection, so any textual ordering lands in the same
+///    slots.
+///  - Equivalent level-vector spellings collapse: when adjacent hierarchy
+///    levels of a dimension have equal cardinality, the parent map is
+///    forced to be the identity permutation (parent maps are monotone
+///    non-decreasing and surjective), so grouping by either level yields
+///    cell-identical answers — the key uses the most aggregated equivalent
+///    level. Value ranges survive the collapse unchanged for the same
+///    reason.
+///  - The aggregate function is dropped: cached answers carry the full
+///    distributive state, so one entry answers every function.
+///  - Range slots of dimensions beyond the schema are zeroed, so stack
+///    garbage in unused `Query::ranges` slots never reaches the key.
+///
+/// Execution always uses the *original* query; only the cache key is
+/// canonical. A hit across collapsed level spellings returns the stored
+/// answer (chunk-aligned, trimmed to the key's ranges at admission),
+/// whose RefineResult rows are bit-identical to folding the queried
+/// spelling.
+ResultCacheKey CanonicalResultKey(const Schema& schema, const Query& query);
+
+}  // namespace aac
+
+#endif  // AAC_CORE_QUERY_CANON_H_

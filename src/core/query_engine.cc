@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cache/replacement.h"
+#include "core/query_canon.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -268,6 +269,28 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, ExecContext* ctx,
     return result;
   }
 
+  // --- Result-cache probe: a canonical-key hit answers the whole query
+  // from one stored fold, before any chunk-level work. The stored answer is
+  // the same chunk-aligned representation a cold execution produces, so
+  // RefineResult rows are bit-identical. ---
+  ResultCacheKey result_key;
+  if (result_cache_ != nullptr) {
+    Stopwatch probe_timer;
+    result_key = CanonicalResultKey(grid_->schema(), query);
+    s.result_cache_probed = true;
+    std::vector<ChunkData> cached_answer;
+    if (result_cache_->Probe(result_key, &cached_answer)) {
+      s.result_cache_hit = true;
+      s.complete_hit = true;
+      s.lookup_ms = probe_timer.ElapsedMillis();
+      s.status = ResultStatus::kOk;
+      result.status = s.status;
+      result.chunks = std::move(cached_answer);
+      return result;
+    }
+    s.lookup_ms += probe_timer.ElapsedMillis();
+  }
+
   // Degraded mode: with the breaker not closed, the backend is presumed
   // unreachable — every cache-computable chunk must be answered from the
   // cache, so the cost-based bypass (moot without a backend) is suspended.
@@ -318,7 +341,7 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, ExecContext* ctx,
     }
     plans = std::move(kept);
   }
-  s.lookup_ms = lookup_timer.ElapsedMillis();
+  s.lookup_ms += lookup_timer.ElapsedMillis();
 
   // --- Aggregation phase: answer cached/computable chunks. ---
   Stopwatch agg_timer;
@@ -501,6 +524,19 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, ExecContext* ctx,
   }
   s.update_ms = update_timer.ElapsedMillis();
 
+  // Scan-tuple equivalents of this query's backend work, part of the
+  // recompute cost a future result-cache hit would save; tallied before
+  // the fetched chunks are moved into the answer.
+  double backend_cost_tuples = 0.0;
+  if (result_cache_ != nullptr) {
+    for (const ChunkData& data : backend_results) {
+      backend_cost_tuples += benefit_->BackendRecomputeTuples(gb, data.chunk);
+    }
+    for (const ChunkData& data : coalesced_results) {
+      backend_cost_tuples += benefit_->BackendRecomputeTuples(gb, data.chunk);
+    }
+  }
+
   for (ChunkData& data : backend_results) results.push_back(std::move(data));
   for (ChunkData& data : coalesced_results) results.push_back(std::move(data));
 
@@ -524,6 +560,21 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, ExecContext* ctx,
     s.status = ResultStatus::kOk;
   }
   result.status = s.status;
+
+  // --- Result-cache admission: only a clean, complete, healthy answer may
+  // become a cached result (a degraded or salvaged answer could be partial
+  // or built over a breaker-open view). The admission itself is cost-based
+  // inside MaybeAdmit: the recompute cost is the fold work plus the
+  // backend scan work a future hit avoids. ---
+  if (result_cache_ != nullptr && s.status == ResultStatus::kOk &&
+      result.unavailable.empty()) {
+    Stopwatch admit_timer;
+    const double recompute_cost =
+        static_cast<double>(s.tuples_aggregated) + backend_cost_tuples;
+    s.result_cache_admitted =
+        result_cache_->MaybeAdmit(result_key, gb, result.chunks, recompute_cost);
+    s.update_ms += admit_timer.ElapsedMillis();
+  }
   return result;
 }
 

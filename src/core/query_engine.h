@@ -8,6 +8,7 @@
 #include "backend/backend.h"
 #include "cache/benefit.h"
 #include "cache/chunk_cache.h"
+#include "cache/result_cache.h"
 #include "core/circuit_breaker.h"
 #include "core/executor.h"
 #include "core/query.h"
@@ -119,7 +120,15 @@ struct QueryStats {
   /// the paper's "complete hit". Chunks routed to the backend by the
   /// cost-based bypass count as backend fetches, so a bypassed query is
   /// not a complete hit even though it was answerable from the cache.
+  /// A result-cache hit is a complete hit (no chunk work at all).
   bool complete_hit = false;
+
+  // Semantic result-cache accounting (all false when no ResultCache is
+  // attached; see set_result_cache).
+  bool result_cache_probed = false;   // engine consulted the result cache
+  bool result_cache_hit = false;      // answered wholesale from it
+  bool result_cache_admitted = false; // this query's finished answer was
+                                      // admitted (cost-based decision)
 
   double TotalMs() const {
     return lookup_ms + aggregation_ms + backend_ms + update_ms;
@@ -256,6 +265,17 @@ class QueryEngine {
     aggregator_.set_plan_cache(cache);
   }
 
+  /// Attaches a semantic result cache: ExecuteQuery probes it by canonical
+  /// query key before any chunk work, and on a clean complete answer makes
+  /// a cost-based admission decision for the finished fold. Null (the
+  /// default) disables the layer. The cache must outlive the engine and is
+  /// typically shared by a whole pool; callers that want replace-in-place
+  /// staleness hooks also register it as a chunk-cache listener.
+  void set_result_cache(ResultCache* result_cache) {
+    result_cache_ = result_cache;
+  }
+  ResultCache* result_cache() { return result_cache_; }
+
   /// This engine's aggregator (fold counters, plan-cache stats).
   const Aggregator& aggregator() const { return aggregator_; }
 
@@ -283,6 +303,7 @@ class QueryEngine {
   std::unique_ptr<CircuitBreaker> breaker_;
   CircuitBreaker* external_breaker_ = nullptr;
   SingleFlight* single_flight_ = nullptr;
+  ResultCache* result_cache_ = nullptr;
 };
 
 }  // namespace aac

@@ -1,6 +1,7 @@
 #include "core/query_parser.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdlib>
 #include <vector>
@@ -94,9 +95,13 @@ ParsedQuery ParseQuery(const Schema& schema, const std::string& text) {
     }
   }
 
-  // BY: dim.level list; unlisted dimensions default to level 0.
+  // BY: dim.level list; unlisted dimensions default to level 0. Listing a
+  // dimension twice at different levels is contradictory — rejecting it
+  // (instead of the old silent last-wins) keeps the parse independent of
+  // item order.
   result.query.level = LevelVector::Uniform(schema.num_dims(), 0);
   if (by_part.empty()) return Error("empty BY clause");
+  std::array<bool, kMaxDims> by_seen{};
   for (const std::string& item : SplitCommas(by_part)) {
     const size_t dot = item.find('.');
     if (dot == std::string::npos) {
@@ -106,6 +111,10 @@ ParsedQuery ParseQuery(const Schema& schema, const std::string& text) {
     if (d < 0) return Error("unknown dimension in '" + item + "'");
     const int l = FindLevel(schema.dimension(d), Trim(item.substr(dot + 1)));
     if (l < 0) return Error("unknown level in '" + item + "'");
+    if (by_seen[static_cast<size_t>(d)] && result.query.level[d] != l) {
+      return Error("conflicting BY levels for dimension in '" + item + "'");
+    }
+    by_seen[static_cast<size_t>(d)] = true;
     result.query.level.Set(d, l);
   }
 
@@ -117,6 +126,7 @@ ParsedQuery ParseQuery(const Schema& schema, const std::string& text) {
   }
 
   // WHERE: dim[lo:hi] list.
+  std::array<bool, kMaxDims> where_seen{};
   if (!where_part.empty()) {
     for (const std::string& item : SplitCommas(where_part)) {
       const size_t open = item.find('[');
@@ -139,14 +149,27 @@ ParsedQuery ParseQuery(const Schema& schema, const std::string& text) {
       if (!lo_ok || !hi_ok) {
         return Error("bad range numbers in '" + item + "'");
       }
-      const auto lo = static_cast<int32_t>(lo_val);
-      const auto hi = static_cast<int32_t>(hi_val);
+      auto lo = static_cast<int32_t>(lo_val);
+      auto hi = static_cast<int32_t>(hi_val);
       const auto card = static_cast<int32_t>(
           schema.dimension(d).cardinality(result.query.level[d]));
       if (lo < 0 || lo >= hi || hi > card) {
         return Error("range out of bounds in '" + item + "' (level has " +
                      std::to_string(card) + " values)");
       }
+      // Repeated restrictions on one dimension conjoin: intersect the
+      // ranges. The old behavior (last item wins) silently made the parse
+      // depend on predicate order — the order-sensitivity bug this layer's
+      // canonical keys must never see.
+      if (where_seen[static_cast<size_t>(d)]) {
+        const auto& prev = result.query.ranges[static_cast<size_t>(d)];
+        lo = std::max(lo, prev.first);
+        hi = std::min(hi, prev.second);
+        if (lo >= hi) {
+          return Error("empty range intersection in '" + item + "'");
+        }
+      }
+      where_seen[static_cast<size_t>(d)] = true;
       result.query.ranges[static_cast<size_t>(d)] = {lo, hi};
     }
   }

@@ -2,17 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace aac {
 
 void CanonicalizeChunkData(int num_dims, ChunkData* data) {
   std::sort(data->cells.begin(), data->cells.end(), CellValueLess{num_dims});
+  // Merge duplicate coordinates. Sorting alone left duplicates alive — and
+  // in unspecified relative order, since std::sort is unstable over
+  // equal keys — so two equal chunks could compare unequal and a fold over
+  // "canonical" data could double-count a coordinate. Merging with the
+  // cell-wise rollup step is deterministic (sum/count are
+  // order-independent, min/max commute) and restores the invariant that a
+  // canonical chunk has one cell per coordinate.
+  if (data->cells.empty()) return;
+  auto out = data->cells.begin();
+  for (auto it = std::next(out); it != data->cells.end(); ++it) {
+    const bool same_coords = !CellValueLess{num_dims}(*out, *it) &&
+                             !CellValueLess{num_dims}(*it, *out);
+    if (same_coords) {
+      MergeCellAggregates(*out, *it);
+    } else {
+      ++out;
+      if (out != it) *out = *it;
+    }
+  }
+  data->cells.erase(std::next(out), data->cells.end());
 }
 
 bool ChunkDataEquals(int num_dims, ChunkData* a, ChunkData* b, double epsilon) {
-  if (a->cells.size() != b->cells.size()) return false;
+  // Canonicalize before the size check: canonicalization merges duplicate
+  // coordinates, so the raw cell counts may differ while the chunks are
+  // still equal.
   CanonicalizeChunkData(num_dims, a);
   CanonicalizeChunkData(num_dims, b);
+  if (a->cells.size() != b->cells.size()) return false;
   for (size_t i = 0; i < a->cells.size(); ++i) {
     for (int d = 0; d < num_dims; ++d) {
       if (a->cells[i].values[static_cast<size_t>(d)] !=

@@ -28,7 +28,9 @@ struct ChunkData {
   }
 };
 
-/// Sorts cells by value ids (canonical order for comparisons).
+/// Sorts cells by value ids and merges cells with duplicate coordinates
+/// (cell-wise aggregate merge), so a canonical chunk has exactly one cell
+/// per coordinate in a deterministic order.
 void CanonicalizeChunkData(int num_dims, ChunkData* data);
 
 /// True if both chunks hold the same cells with measures equal within

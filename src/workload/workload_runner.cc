@@ -18,6 +18,11 @@ void AccumulateStats(const QueryStats& stats, WorkloadTotals* totals) {
   totals->backend_attempts += stats.backend_attempts;
   totals->backend_retries += stats.backend_retries;
   totals->breaker_rejected += stats.backend_rejected() ? 1 : 0;
+  if (stats.result_cache_probed) {
+    totals->result_hits += stats.result_cache_hit ? 1 : 0;
+    totals->result_misses += stats.result_cache_hit ? 0 : 1;
+  }
+  totals->result_admitted += stats.result_cache_admitted ? 1 : 0;
   totals->shedded += stats.status == ResultStatus::kShedded ? 1 : 0;
   totals->deadline_exceeded +=
       stats.status == ResultStatus::kDeadlineExceeded ? 1 : 0;

@@ -56,6 +56,46 @@ TEST(ChunkData, EqualsDetectsSizeMismatch) {
   EXPECT_FALSE(ChunkDataEquals(2, &a, &b));
 }
 
+// Regression (failed pre-PR): canonicalization sorted but never merged
+// duplicate-coordinate cells, so a chunk built by appending partial states
+// for the same cell was never equal to its single-cell spelling.
+TEST(ChunkData, CanonicalizeMergesDuplicateCoordinates) {
+  ChunkData d;
+  Cell a = MakeCell(0, 0, 1.0);
+  InitCellAggregates(a, 1.0);
+  Cell b = MakeCell(0, 0, 5.0);
+  InitCellAggregates(b, 5.0);
+  Cell c = MakeCell(1, 0, 2.0);
+  InitCellAggregates(c, 2.0);
+  d.cells = {c, a, b};
+  CanonicalizeChunkData(2, &d);
+  ASSERT_EQ(d.cells.size(), 2u);
+  EXPECT_EQ(d.cells[0].values[0], 0);
+  EXPECT_EQ(d.cells[0].measure, 6.0);  // 1 + 5 merged
+  EXPECT_EQ(d.cells[0].count, 2);
+  EXPECT_EQ(d.cells[0].min, 1.0);
+  EXPECT_EQ(d.cells[0].max, 5.0);
+  EXPECT_EQ(d.cells[1].values[0], 1);
+  EXPECT_EQ(d.cells[1].measure, 2.0);
+}
+
+// Regression companion: equality must canonicalize (and therefore merge)
+// BEFORE comparing sizes — a split spelling has more raw cells but the
+// same logical content.
+TEST(ChunkData, EqualsMergesDuplicatesBeforeSizeCheck) {
+  ChunkData split, merged;
+  Cell a = MakeCell(0, 0, 0.0);
+  InitCellAggregates(a, 1.0);
+  Cell b = MakeCell(0, 0, 0.0);
+  InitCellAggregates(b, 5.0);
+  split.cells = {a, b};
+  Cell m = MakeCell(0, 0, 0.0);
+  InitCellAggregates(m, 1.0);
+  MergeCellAggregates(m, b);
+  merged.cells = {m};
+  EXPECT_TRUE(ChunkDataEquals(2, &split, &merged, /*epsilon=*/0.0));
+}
+
 TEST(ChunkData, EqualsDetectsCoordinateMismatch) {
   ChunkData a, b;
   a.cells.push_back(MakeCell(0, 1, 1.0));

@@ -1,0 +1,231 @@
+#include "core/query_canon.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_parser.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace aac {
+namespace {
+
+// Cube whose product dimension has an equal-cardinality (fanout-1) level
+// pair: cards 2 / 2 / 6, so levels 0 and 1 are equivalent spellings of the
+// same grouping. Time is a normal 2 / 8 hierarchy.
+TestCube MakeCollapseCube() {
+  TestCube c;
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Uniform("product", 2, {1, 3}));
+  dims.push_back(Dimension::Uniform("time", 2, {4}));
+  c.schema = std::make_unique<Schema>(std::move(dims));
+  c.lattice = std::make_unique<Lattice>(c.schema.get());
+  c.layouts.push_back(std::make_unique<DimensionChunkLayout>(
+      DimensionChunkLayout::UniformValuesPerChunk(&c.schema->dimension(0),
+                                                  {2, 2, 3})));
+  c.layouts.push_back(std::make_unique<DimensionChunkLayout>(
+      DimensionChunkLayout::UniformValuesPerChunk(&c.schema->dimension(1),
+                                                  {2, 4})));
+  std::vector<const DimensionChunkLayout*> ptrs;
+  for (const auto& l : c.layouts) ptrs.push_back(l.get());
+  c.grid = std::make_unique<ChunkGrid>(c.lattice.get(), std::move(ptrs));
+  return c;
+}
+
+TEST(QueryEqualityTest, IgnoresDeadRangeSlots) {
+  TestCube cube = MakeSmallCube();
+  Query a = Query::WholeLevel(*cube.schema, LevelVector{1, 1});
+  Query b = a;
+  // Garbage in a slot beyond num_dims must not affect equality or hashing:
+  // those slots are dead storage, not part of what the query asks.
+  b.ranges[5] = {123, 456};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(QueryHash()(a), QueryHash()(b));
+
+  Query c = a;
+  c.ranges[0] = {0, 1};
+  EXPECT_NE(a, c);
+  Query d = a;
+  d.fn = AggregateFunction::kMax;
+  EXPECT_NE(a, d);
+}
+
+// Regression (failed pre-PR): duplicate WHERE items for one dimension were
+// last-wins, so predicate order changed the parsed query. They now
+// intersect, making any ordering parse identically.
+TEST(QueryParserOrderTest, DuplicateWhereItemsIntersectOrderIndependently) {
+  TestCube cube = MakeSmallCube();
+  ParsedQuery ab = ParseQuery(*cube.schema,
+                              "BY product.l2, time.l1 WHERE time[0:6], time[2:8]");
+  ParsedQuery ba = ParseQuery(*cube.schema,
+                              "BY product.l2, time.l1 WHERE time[2:8], time[0:6]");
+  ASSERT_TRUE(ab.ok) << ab.error;
+  ASSERT_TRUE(ba.ok) << ba.error;
+  EXPECT_EQ(ab.query, ba.query);
+  EXPECT_EQ(ab.query.ranges[1].first, 2);
+  EXPECT_EQ(ab.query.ranges[1].second, 6);
+  const ResultCacheKey ka = CanonicalResultKey(*cube.schema, ab.query);
+  const ResultCacheKey kb = CanonicalResultKey(*cube.schema, ba.query);
+  EXPECT_EQ(ka, kb);
+  EXPECT_EQ(ka.digest, kb.digest);
+}
+
+TEST(QueryParserOrderTest, EmptyWhereIntersectionIsAnError) {
+  TestCube cube = MakeSmallCube();
+  ParsedQuery p = ParseQuery(*cube.schema,
+                             "BY time.l1 WHERE time[0:3], time[5:8]");
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("intersection"), std::string::npos);
+}
+
+TEST(QueryParserOrderTest, ConflictingByLevelsAreAnError) {
+  TestCube cube = MakeSmallCube();
+  ParsedQuery p =
+      ParseQuery(*cube.schema, "BY product.l1, product.l2");
+  EXPECT_FALSE(p.ok);
+  // The same level twice stays fine.
+  ParsedQuery ok = ParseQuery(*cube.schema, "BY product.l1, product.l1");
+  EXPECT_TRUE(ok.ok) << ok.error;
+}
+
+TEST(QueryParserOrderTest, WhereOrderAcrossDimensionsIsIrrelevant) {
+  TestCube cube = MakeSmallCube();
+  ParsedQuery ab = ParseQuery(
+      *cube.schema, "BY product.l1, time.l1 WHERE product[0:3], time[2:7]");
+  ParsedQuery ba = ParseQuery(
+      *cube.schema, "BY time.l1, product.l1 WHERE time[2:7], product[0:3]");
+  ASSERT_TRUE(ab.ok) << ab.error;
+  ASSERT_TRUE(ba.ok) << ba.error;
+  EXPECT_EQ(ab.query, ba.query);
+  EXPECT_EQ(CanonicalResultKey(*cube.schema, ab.query),
+            CanonicalResultKey(*cube.schema, ba.query));
+}
+
+TEST(CanonicalResultKeyTest, CollapsesEqualCardinalityLevels) {
+  TestCube cube = MakeCollapseCube();
+  ASSERT_EQ(cube.schema->dimension(0).cardinality(0),
+            cube.schema->dimension(0).cardinality(1));
+
+  Query at0 = Query::WholeLevel(*cube.schema, LevelVector{0, 1});
+  Query at1 = Query::WholeLevel(*cube.schema, LevelVector{1, 1});
+  const ResultCacheKey k0 = CanonicalResultKey(*cube.schema, at0);
+  const ResultCacheKey k1 = CanonicalResultKey(*cube.schema, at1);
+  EXPECT_EQ(k0, k1);
+  EXPECT_EQ(k0.digest, k1.digest);
+  EXPECT_EQ(k0.level[0], 0);  // collapsed to the most aggregated spelling
+
+  // Distinct-cardinality levels must NOT collapse.
+  Query at2 = Query::WholeLevel(*cube.schema, LevelVector{2, 1});
+  const ResultCacheKey k2 = CanonicalResultKey(*cube.schema, at2);
+  EXPECT_NE(k0, k2);
+  EXPECT_EQ(k2.level[0], 2);
+}
+
+TEST(CanonicalResultKeyTest, FunctionIsDroppedRangesAreNot) {
+  TestCube cube = MakeSmallCube();
+  Query q = Query::WholeLevel(*cube.schema, LevelVector{1, 1});
+  Query avg = q;
+  avg.fn = AggregateFunction::kAvg;
+  EXPECT_EQ(CanonicalResultKey(*cube.schema, q),
+            CanonicalResultKey(*cube.schema, avg));
+
+  Query narrowed = q;
+  narrowed.ranges[1] = {0, 2};
+  EXPECT_NE(CanonicalResultKey(*cube.schema, q),
+            CanonicalResultKey(*cube.schema, narrowed));
+}
+
+TEST(CanonicalResultKeyTest, DeadSlotsAreZeroed) {
+  TestCube cube = MakeSmallCube();
+  Query a = Query::WholeLevel(*cube.schema, LevelVector{1, 1});
+  Query b = a;
+  b.ranges[6] = {77, 99};  // dead slot garbage
+  const ResultCacheKey ka = CanonicalResultKey(*cube.schema, a);
+  const ResultCacheKey kb = CanonicalResultKey(*cube.schema, b);
+  EXPECT_EQ(ka, kb);
+  EXPECT_EQ(ka.digest, kb.digest);
+  for (int d = cube.schema->num_dims(); d < kMaxDims; ++d) {
+    EXPECT_EQ(kb.ranges[static_cast<size_t>(d)].first, 0);
+    EXPECT_EQ(kb.ranges[static_cast<size_t>(d)].second, 0);
+  }
+}
+
+// The property test the issue asks for: across 1,000 seeded random
+// reorderings of slice/predicate spelling — permuted BY and WHERE item
+// order, duplicated WHERE items whose intersection is the target range,
+// and equivalent level-vector spellings through the fanout-1 level — the
+// canonical key is bit-identical to the reference spelling's key.
+TEST(CanonicalResultKeyTest, PropertyKeyInvariantUnderSpellings) {
+  TestCube cube = MakeCollapseCube();
+  const Schema& schema = *cube.schema;
+  Rng rng(20260808);
+  for (int iter = 0; iter < 1000; ++iter) {
+    // Reference query: random levels and sub-ranges.
+    const int pl = static_cast<int>(rng.Uniform(3));  // product: 0..2
+    const int tl = static_cast<int>(rng.Uniform(2));  // time: 0..1
+    Query ref;
+    ref.level = LevelVector{pl, tl};
+    std::array<std::pair<int32_t, int32_t>, 2> r{};
+    for (int d = 0; d < 2; ++d) {
+      const auto card = static_cast<int32_t>(
+          schema.dimension(d).cardinality(ref.level[d]));
+      const auto lo = static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(card)));
+      const auto hi =
+          lo + 1 +
+          static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(card - lo)));
+      r[static_cast<size_t>(d)] = {lo, hi};
+      ref.ranges[static_cast<size_t>(d)] = {lo, hi};
+    }
+    const ResultCacheKey want = CanonicalResultKey(schema, ref);
+
+    // Spelled variant: equivalent product level (0 <-> 1 when equal
+    // cardinality), permuted BY order, permuted + duplicated WHERE items.
+    int spelled_pl = pl;
+    if (pl <= 1) spelled_pl = rng.Bernoulli(0.5) ? 0 : 1;
+    std::vector<std::string> by;
+    by.push_back("product.l" + std::to_string(spelled_pl));
+    by.push_back("time.l" + std::to_string(tl));
+    std::vector<std::string> where;
+    const char* dim_names[2] = {"product", "time"};
+    for (int d = 0; d < 2; ++d) {
+      const auto [lo, hi] = r[static_cast<size_t>(d)];
+      const auto card = static_cast<int32_t>(
+          schema.dimension(d).cardinality(ref.level[d]));
+      if (rng.Bernoulli(0.5)) {
+        // Split into two overlapping restrictions intersecting to [lo, hi).
+        const int32_t lo2 = lo == 0 ? 0 : static_cast<int32_t>(
+            rng.Uniform(static_cast<uint64_t>(lo) + 1));
+        const int32_t hi2 = hi + static_cast<int32_t>(
+            rng.Uniform(static_cast<uint64_t>(card - hi) + 1));
+        where.push_back(std::string(dim_names[d]) + "[" + std::to_string(lo) +
+                        ":" + std::to_string(hi2) + "]");
+        where.push_back(std::string(dim_names[d]) + "[" + std::to_string(lo2) +
+                        ":" + std::to_string(hi) + "]");
+      } else {
+        where.push_back(std::string(dim_names[d]) + "[" + std::to_string(lo) +
+                        ":" + std::to_string(hi) + "]");
+      }
+    }
+    if (rng.Bernoulli(0.5)) std::swap(by[0], by[1]);
+    for (size_t i = where.size(); i > 1; --i) {
+      std::swap(where[i - 1], where[rng.Uniform(i)]);
+    }
+    std::string text = "BY " + by[0] + ", " + by[1] + " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += where[i];
+    }
+    ParsedQuery parsed = ParseQuery(schema, text);
+    ASSERT_TRUE(parsed.ok) << text << ": " << parsed.error;
+    const ResultCacheKey got = CanonicalResultKey(schema, parsed.query);
+    ASSERT_EQ(got, want) << "iter " << iter << ": " << text;
+    ASSERT_EQ(got.digest, want.digest) << "iter " << iter << ": " << text;
+  }
+}
+
+}  // namespace
+}  // namespace aac

@@ -11,8 +11,11 @@
 #   tools/check.sh tsan        # TSan concurrency suite only
 #   tools/check.sh robustness  # overload/deadline/admission suite under
 #                              # ASan+UBSan and TSan
-#   tools/check.sh bench-smoke # rollup-kernel + overload-storm smoke and
-#                              # the kernel suite under ASan+UBSan and TSan
+#   tools/check.sh resultcache # result-cache/canonicalization suite under
+#                              # ASan+UBSan and TSan
+#   tools/check.sh bench-smoke # rollup-kernel + overload-storm +
+#                              # result-cache smoke and the kernel suite
+#                              # under ASan+UBSan and TSan
 #   tools/check.sh lint        # the lint wall (tools/lint.sh): repo
 #                              # invariants always; clang thread-safety
 #                              # analysis and clang-tidy when LLVM is
@@ -67,23 +70,43 @@ run_robustness() {
   echo "=== robustness/${name}: OK ==="
 }
 
-# Sanitized gate for the rollup kernel: build the rollup_kernel and
-# overload_storm benches plus the "kernel"-labeled tests under ASan+UBSan
-# and TSan, run both benches in --smoke mode (tiny sizes; each exits
-# nonzero if its internal assertions fail — kernel-vs-reference equality
-# for rollup_kernel, goodput/typed-resolution/zero-pin invariants for
-# overload_storm) and the kernel test label.
+# Sanitized gate for the semantic result cache: run the "resultcache"-
+# labeled suite (canonicalization property tests, result-cache unit and
+# engine-integration tests, the replace-in-place listener regression) under
+# ASan+UBSan and then TSan. The layer sits on the hot query path and is
+# shared across engine pools, so its bugs surface exactly as races and
+# lifetime errors — both sanitizers gate it.
+run_resultcache() {
+  local name="$1" build_dir="$2" sanitize="$3"
+  echo "=== resultcache/${name}: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  echo "=== resultcache/${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== resultcache/${name}: ctest (-L resultcache) ==="
+  (cd "${build_dir}" && ctest -L resultcache --output-on-failure -j "${jobs}")
+  echo "=== resultcache/${name}: OK ==="
+}
+
+# Sanitized gate for the rollup kernel: build the rollup_kernel,
+# overload_storm and result_cache benches plus the "kernel"-labeled tests
+# under ASan+UBSan and TSan, run the benches in --smoke mode (tiny sizes;
+# each exits nonzero if its internal assertions fail — kernel-vs-reference
+# equality for rollup_kernel, goodput/typed-resolution/zero-pin invariants
+# for overload_storm, hits + bit-identity for result_cache) and the kernel
+# test label.
 run_bench_smoke() {
   local name="$1" build_dir="$2" sanitize="$3"
   echo "=== bench-smoke/${name}: configure ==="
   cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
   echo "=== bench-smoke/${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}" --target rollup_kernel \
-    overload_storm aggregator_test rollup_plan_test
+    overload_storm result_cache aggregator_test rollup_plan_test
   echo "=== bench-smoke/${name}: rollup_kernel --smoke ==="
   "${build_dir}/bench/rollup_kernel" --smoke
   echo "=== bench-smoke/${name}: overload_storm --smoke ==="
   "${build_dir}/bench/overload_storm" --smoke
+  echo "=== bench-smoke/${name}: result_cache --smoke ==="
+  "${build_dir}/bench/result_cache" --smoke
   echo "=== bench-smoke/${name}: ctest (-L kernel) ==="
   (cd "${build_dir}" && ctest -L kernel --output-on-failure -j "${jobs}")
   echo "=== bench-smoke/${name}: OK ==="
@@ -103,6 +126,10 @@ case "${mode}" in
     run_robustness "asan+ubsan" "${repo_root}/build-asan" ON
     run_robustness "tsan" "${repo_root}/build-tsan" thread
     ;;
+  resultcache)
+    run_resultcache "asan+ubsan" "${repo_root}/build-asan" ON
+    run_resultcache "tsan" "${repo_root}/build-tsan" thread
+    ;;
   bench-smoke)
     run_bench_smoke "asan+ubsan" "${repo_root}/build-asan" ON
     run_bench_smoke "tsan" "${repo_root}/build-tsan" thread
@@ -117,7 +144,7 @@ case "${mode}" in
     run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|robustness|bench-smoke|lint|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|robustness|resultcache|bench-smoke|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -29,7 +29,10 @@ it enforces the invariants that keep the clang gate meaningful:
       test never sees ThreadSanitizer. Likewise, tests that exercise the
       overload surface (deadlines/cancellation via util/deadline.h, the
       admission controller) must carry the "robustness" label, which
-      tools/check.sh robustness runs under ASan/UBSan and TSan.
+      tools/check.sh robustness runs under ASan/UBSan and TSan. Tests that
+      exercise the semantic result cache or the query canonicalizer must
+      carry the "resultcache" label, which tools/check.sh resultcache runs
+      under both sanitizer configurations.
   R6  Raw std::this_thread::sleep_for is banned outside src/util/sleep.h.
       Every wait must go through the clock-aware helpers (SleepForNanos /
       SleepForNanosClamped) or a deadline-bounded CondVar wait — a naked
@@ -171,6 +174,23 @@ ANNOTATION_TABLE = [
      r"HasCapacityLocked\([^;]*\)[^;]*AAC_REQUIRES\(mutex_\)",
      "AdmissionController::HasCapacityLocked must carry "
      "AAC_REQUIRES(mutex_)"),
+    # Result cache: every map/ring/byte-count mutation happens under the one
+    # result-cache mutex; the CLOCK sweep assumes it is held.
+    ("src/cache/result_cache.h",
+     r"entries_\s+AAC_GUARDED_BY\(mutex_\)",
+     "ResultCache::entries_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/result_cache.h",
+     r"ring_\s+AAC_GUARDED_BY\(mutex_\)",
+     "ResultCache::ring_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/result_cache.h",
+     r"bytes_used_\s+AAC_GUARDED_BY\(mutex_\)",
+     "ResultCache::bytes_used_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/result_cache.h",
+     r"stats_\s+AAC_GUARDED_BY\(mutex_\)",
+     "ResultCache::stats_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/result_cache.h",
+     r"EvictFor\([^;]*\)[^;]*AAC_REQUIRES\(mutex_\)",
+     "ResultCache::EvictFor must carry AAC_REQUIRES(mutex_)"),
     # Rollup plan cache.
     ("src/storage/rollup_plan.h",
      r"plans_\s*\n?\s*AAC_GUARDED_BY\(mutex_\)",
@@ -259,6 +279,14 @@ ROBUSTNESS_MARKERS = re.compile(
     r"|\"backend/fault_injector\.h\")"
 )
 
+# Tests that drive the semantic result layer (the result cache itself or
+# the query canonicalizer feeding it) belong to the resultcache label —
+# tools/check.sh resultcache runs that label under ASan/UBSan and TSan.
+RESULTCACHE_MARKERS = re.compile(
+    r"#\s*include\s*(\"cache/result_cache\.h\""
+    r"|\"core/query_canon\.h\")"
+)
+
 
 def check_test_registry():
     cmake = REPO / "tests" / "CMakeLists.txt"
@@ -295,6 +323,13 @@ def check_test_registry():
                         "admission/retries/faults) but is not labeled "
                         "\"robustness\" — tools/check.sh robustness will "
                         "never run it under the sanitizers")
+        if RESULTCACHE_MARKERS.search(text):
+            if "resultcache" not in registered[name]:
+                finding(path, 1, "R5-resultcache-label",
+                        f"{name} exercises the result cache / canonicalizer "
+                        "but is not labeled \"resultcache\" — "
+                        "tools/check.sh resultcache will never run it under "
+                        "the sanitizers")
 
 
 # --------------------------------------------------------------------------
