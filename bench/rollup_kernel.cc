@@ -9,11 +9,21 @@
 //
 // Cases: dense multi-level rollups (uniform and non-uniform hierarchies),
 // a sparse rollup into a large mostly-empty chunk, and a 1..8 source-span
-// sweep. Results (ns/tuple and speedup) are printed and written to
-// BENCH_rollup.json (override with --out PATH; AAC_BENCH_ROLLUP_REPS
-// rescales). --smoke runs tiny sizes, verifies old == new bit-for-bit and
-// writes no file unless --out is given — the sanitizer gate in
-// tools/check.sh bench-smoke runs exactly that.
+// sweep. On top of the old-vs-new comparison, every case also measures the
+// forced scalar vs forced vector fold kernel (the SIMD dispatch seam) and a
+// 1/2/4/8-morsel-lane sweep through a MorselPool — all variants are checked
+// bit-identical against each other, always. Results (ns/tuple and speedups)
+// are printed and written to BENCH_rollup.json (override with --out PATH;
+// AAC_BENCH_ROLLUP_REPS rescales). --smoke runs tiny sizes, verifies the
+// identities, additionally asserts the vector kernel beats scalar by >= 1.5x
+// on the best dense case (skipped — not failed — without AVX2 or under a
+// sanitizer, where instrumentation swamps the kernel), and writes no file
+// unless --out is given — tools/check.sh kernel-simd and bench-smoke run
+// exactly that.
+//
+// Caveat for committed numbers: on a single-core container the morsel-lane
+// columns measure oversubscription (lanes time-slice one core), not
+// scaling; the JSON records hardware_concurrency so readers can tell.
 
 #include <algorithm>
 #include <array>
@@ -23,6 +33,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +44,8 @@
 #include "schema/schema.h"
 #include "storage/aggregator.h"
 #include "storage/chunk_data.h"
+#include "storage/fold_kernel.h"
+#include "storage/morsel_pool.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -244,6 +257,9 @@ std::vector<std::span<const Cell>> AsSpans(
   return out;
 }
 
+// Morsel-lane sweep points (lane 1 = serial, lane N = caller + N-1 helpers).
+constexpr std::array<int, 4> kLaneSweep = {1, 2, 4, 8};
+
 struct CaseResult {
   std::string name;
   std::string path;  // "dense" or "sparse" (which fold path the case hits)
@@ -254,6 +270,21 @@ struct CaseResult {
   double new_ns_per_tuple = 0.0;
   double speedup = 0.0;
   bool identical = false;
+
+  // SIMD dispatch seam: the same fold forced onto each kernel. The sparse
+  // path ignores the setting (it is always scalar), so simd_speedup is only
+  // meaningful for path == "dense".
+  double scalar_ns_per_tuple = 0.0;
+  double vector_ns_per_tuple = 0.0;
+  double simd_speedup = 0.0;
+  bool simd_identical = false;
+
+  // Morsel-lane sweep (default kernel): ns/tuple at 1/2/4/8 lanes. Lanes
+  // only engage on the dense path; sparse cases report serial numbers for
+  // every column.
+  std::array<double, kLaneSweep.size()> lane_ns_per_tuple{};
+  std::array<int, kLaneSweep.size()> lanes_used{};
+  bool morsel_identical = false;
 };
 
 double MedianNanos(std::vector<int64_t>& samples) {
@@ -298,6 +329,50 @@ CaseResult RunCase(const std::string& name, const Cube& cube, GroupById from,
   res.speedup = res.old_ns_per_tuple / res.new_ns_per_tuple;
   res.identical =
       ChunkDataEquals(cube.schema->num_dims(), &old_out, &new_out, 0.0);
+  const int nd = cube.schema->num_dims();
+
+  // Forced-kernel comparison across the dispatch seam.
+  auto time_kernel = [&](FoldKernelKind kind, ChunkData* out) {
+    Aggregator forced(cube.grid.get());
+    forced.set_fold_kernel(kind);
+    std::vector<int64_t> ns;
+    for (int r = 0; r < reps + 1; ++r) {
+      Stopwatch sw;
+      *out = forced.AggregateSpans(from, views, to, chunk);
+      if (r > 0) ns.push_back(sw.ElapsedNanos());
+    }
+    return MedianNanos(ns) / static_cast<double>(tuples);
+  };
+  ChunkData scalar_out, vector_out;
+  res.scalar_ns_per_tuple = time_kernel(FoldKernelKind::kScalar, &scalar_out);
+  res.vector_ns_per_tuple = time_kernel(FoldKernelKind::kVector, &vector_out);
+  res.simd_speedup = res.scalar_ns_per_tuple / res.vector_ns_per_tuple;
+  res.simd_identical = ChunkDataEquals(nd, &scalar_out, &vector_out, 0.0);
+
+  // Morsel-lane sweep (default kernel, thresholds lowered so every dense
+  // fold is eligible; sparse folds simply never consult the pool).
+  res.morsel_identical = true;
+  for (size_t li = 0; li < kLaneSweep.size(); ++li) {
+    const int lanes = kLaneSweep[li];
+    std::unique_ptr<MorselPool> pool;
+    Aggregator lane_agg(cube.grid.get());
+    if (lanes > 1) {
+      pool = std::make_unique<MorselPool>(lanes - 1);
+      lane_agg.set_morsel_pool(pool.get());
+      lane_agg.set_morsel_min_cells(1);
+    }
+    ChunkData lane_out;
+    std::vector<int64_t> ns;
+    for (int r = 0; r < reps + 1; ++r) {
+      Stopwatch sw;
+      lane_out = lane_agg.AggregateSpans(from, views, to, chunk);
+      if (r > 0) ns.push_back(sw.ElapsedNanos());
+    }
+    res.lane_ns_per_tuple[li] = MedianNanos(ns) / static_cast<double>(tuples);
+    res.lanes_used[li] = lane_agg.last_fold().morsel_lanes;
+    res.morsel_identical =
+        res.morsel_identical && ChunkDataEquals(nd, &lane_out, &new_out, 0.0);
+  }
   return res;
 }
 
@@ -379,6 +454,25 @@ int Main(int argc, char** argv) {
         RunCase("dense_multilevel_nonuniform", cube, from, to, 0, spans, reps));
   }
 
+  // Dense scatter into a wide chunk: base-level fold into the full 256x256
+  // base chunk (64k cells, ~2 MB of fold states). The state array blows the
+  // L1 budget, so the scalar kernel stalls on every scattered merge; the
+  // vector kernel computes 8 offsets per batch and prefetches their states
+  // before merging, overlapping the misses — the case the SIMD seam is for
+  // (and the shape the morsel path splits across lanes in production).
+  {
+    Cube cube = MakeCube([] {
+      std::vector<Dimension> dims;
+      dims.push_back(Dimension::Uniform("w0", 16, {4, 4}));
+      dims.push_back(Dimension::Uniform("w1", 16, {4, 4}));
+      return dims;
+    }());
+    const GroupById base = cube.lattice->base_id();
+    auto spans = RandomSpans(cube, 4, 200'000 / scale, /*seed=*/17);
+    results.push_back(
+        RunCase("dense_scatter_64k", cube, base, base, 0, spans, reps));
+  }
+
   // Sparse rollup: one level up into a 32^3-cell chunk with few tuples —
   // the old kernel's unordered_map path vs the flat open-addressing table.
   {
@@ -423,17 +517,72 @@ int Main(int argc, char** argv) {
       "tuples", "cells", "old_ns/tup", "new_ns/tup", "speedup", "same");
   bool all_identical = true;
   for (const CaseResult& r : results) {
-    all_identical = all_identical && r.identical;
+    all_identical =
+        all_identical && r.identical && r.simd_identical && r.morsel_identical;
     std::printf("%-28s %-7s %6d %9lld %11lld %12.2f %12.2f %7.2fx %5s\n",
                 r.name.c_str(), r.path.c_str(), r.num_spans,
                 static_cast<long long>(r.tuples),
                 static_cast<long long>(r.target_cells), r.old_ns_per_tuple,
                 r.new_ns_per_tuple, r.speedup, r.identical ? "yes" : "NO");
   }
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("\nkernel dispatch: default=%s, avx2=%s, hw_threads=%u%s\n",
+              FoldKernelName(DefaultFoldKernel()),
+              VectorFoldKernelSupported() ? "yes" : "no", hw_threads,
+              hw_threads <= 1 ? " (single core: morsel columns measure "
+                                "oversubscription, not scaling)"
+                              : "");
+  std::printf("%-28s %12s %12s %7s  %10s %10s %10s %10s %5s\n", "case",
+              "scalar_ns/t", "vector_ns/t", "simd_x", "1-lane", "2-lane",
+              "4-lane", "8-lane", "same");
+  for (const CaseResult& r : results) {
+    std::printf(
+        "%-28s %12.2f %12.2f %6.2fx  %10.2f %10.2f %10.2f %10.2f %5s\n",
+        r.name.c_str(), r.scalar_ns_per_tuple, r.vector_ns_per_tuple,
+        r.simd_speedup, r.lane_ns_per_tuple[0], r.lane_ns_per_tuple[1],
+        r.lane_ns_per_tuple[2], r.lane_ns_per_tuple[3],
+        r.simd_identical && r.morsel_identical ? "yes" : "NO");
+  }
+
   if (!all_identical) {
     std::fprintf(stderr,
-                 "FAIL: old and new kernels disagree on at least one case\n");
+                 "FAIL: kernel variants disagree on at least one case "
+                 "(old/new, scalar/vector, or morsel lanes)\n");
     return 1;
+  }
+
+  if (smoke) {
+    // The SIMD acceptance bar: the vector kernel must beat scalar by >=
+    // 1.5x on the best dense case. Skipped (not failed) where the vector
+    // kernel cannot or should not win: no AVX2, or a sanitizer build whose
+    // per-access instrumentation swamps the kernel arithmetic.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    constexpr bool kSanitized = true;
+#else
+    constexpr bool kSanitized = false;
+#endif
+    if (!VectorFoldKernelSupported()) {
+      std::printf("smoke: SIMD speedup assertion skipped (no AVX2)\n");
+    } else if (kSanitized) {
+      std::printf("smoke: SIMD speedup assertion skipped (sanitizer build)\n");
+    } else {
+      double best_dense_simd = 0.0;
+      for (const CaseResult& r : results) {
+        if (r.path == "dense") {
+          best_dense_simd = std::max(best_dense_simd, r.simd_speedup);
+        }
+      }
+      if (best_dense_simd < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: vector dense kernel only %.2fx over scalar "
+                     "(need >= 1.5x)\n",
+                     best_dense_simd);
+        return 1;
+      }
+      std::printf("smoke: vector dense kernel %.2fx over scalar (>= 1.5x)\n",
+                  best_dense_simd);
+    }
   }
 
   if (!out_path.empty()) {
@@ -444,8 +593,16 @@ int Main(int argc, char** argv) {
     }
     std::fprintf(f, "{\n  \"bench\": \"rollup_kernel\",\n  \"reps\": %d,\n",
                  reps);
-    std::fprintf(f, "  \"smoke\": %s,\n  \"cases\": [\n",
-                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"avx2\": %s,\n",
+                 VectorFoldKernelSupported() ? "true" : "false");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw_threads);
+    if (hw_threads <= 1) {
+      std::fprintf(f,
+                   "  \"note\": \"single-core host: morsel-lane columns "
+                   "measure oversubscription, not scaling\",\n");
+    }
+    std::fprintf(f, "  \"cases\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
       const CaseResult& r = results[i];
       std::fprintf(
@@ -453,11 +610,19 @@ int Main(int argc, char** argv) {
           "    {\"case\": \"%s\", \"path\": \"%s\", \"spans\": %d, "
           "\"tuples\": %lld, \"target_cells\": %lld, "
           "\"old_ns_per_tuple\": %.2f, \"new_ns_per_tuple\": %.2f, "
-          "\"speedup\": %.2f, \"identical\": %s}%s\n",
+          "\"speedup\": %.2f, \"identical\": %s,\n"
+          "     \"scalar_ns_per_tuple\": %.2f, \"vector_ns_per_tuple\": %.2f, "
+          "\"simd_speedup\": %.2f, \"simd_identical\": %s,\n"
+          "     \"morsel_ns_per_tuple\": {\"1\": %.2f, \"2\": %.2f, "
+          "\"4\": %.2f, \"8\": %.2f}, \"morsel_identical\": %s}%s\n",
           r.name.c_str(), r.path.c_str(), r.num_spans,
           static_cast<long long>(r.tuples),
           static_cast<long long>(r.target_cells), r.old_ns_per_tuple,
           r.new_ns_per_tuple, r.speedup, r.identical ? "true" : "false",
+          r.scalar_ns_per_tuple, r.vector_ns_per_tuple, r.simd_speedup,
+          r.simd_identical ? "true" : "false", r.lane_ns_per_tuple[0],
+          r.lane_ns_per_tuple[1], r.lane_ns_per_tuple[2],
+          r.lane_ns_per_tuple[3], r.morsel_identical ? "true" : "false",
           i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

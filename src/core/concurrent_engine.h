@@ -10,6 +10,7 @@
 #include "core/admission.h"
 #include "core/query_engine.h"
 #include "core/single_flight.h"
+#include "storage/morsel_pool.h"
 #include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -78,6 +79,25 @@ class ConcurrentQueryEngine {
   /// replace-in-place staleness hook.
   void set_result_cache(ResultCache* result_cache);
 
+  /// Creates a MorselPool of `num_helpers` helper threads and wires it
+  /// into every pooled engine: large dense folds go morsel-parallel across
+  /// idle helpers (opportunistic borrow, batch-class cap — see
+  /// Aggregator::set_morsel_pool). Call before concurrent use; 0 disables
+  /// (and drops any existing pool, which must be idle).
+  void ConfigureMorsels(int num_helpers);
+
+  /// The shared morsel pool, or nullptr when not configured.
+  MorselPool* morsel_pool() { return morsel_pool_.get(); }
+
+  /// Fold-arena trims performed on engines returned to the pool.
+  int64_t fold_arena_trims() const {
+    return fold_arena_trims_.load(std::memory_order_relaxed);
+  }
+
+  /// Idle-engine fold arenas above this retained-bytes limit are trimmed
+  /// on Return (the satellite "trim when an engine goes idle" policy).
+  static constexpr int64_t kEngineArenaTrimBytes = int64_t{16} << 20;
+
   /// Queries executed so far (thread-safe).
   int64_t queries_executed() const {
     return queries_executed_.load(std::memory_order_relaxed);
@@ -101,8 +121,10 @@ class ConcurrentQueryEngine {
   SingleFlight single_flight_;
   RollupPlanCache rollup_plans_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<MorselPool> morsel_pool_;   // set before threads start
   CircuitBreaker* shared_breaker_ = nullptr;  // set before threads start
   ResultCache* result_cache_ = nullptr;       // set before threads start
+  std::atomic<int64_t> fold_arena_trims_{0};
   mutable Mutex pool_mutex_;
   std::vector<std::unique_ptr<QueryEngine>> idle_ AAC_GUARDED_BY(pool_mutex_);
   int64_t engines_created_ AAC_GUARDED_BY(pool_mutex_) = 0;

@@ -402,6 +402,7 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, ExecContext* ctx,
     }
     s.tuples_aggregated += exec.tuples_aggregated;
     s.fold_ns += exec.fold_ns;
+    s.fold_lanes = std::max(s.fold_lanes, exec.fold_lanes);
     computed.push_back(ComputedInfo{results.size(), exec.tuples_aggregated,
                                     std::move(exec.cached_inputs)});
     results.push_back(std::move(exec.data));

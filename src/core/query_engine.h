@@ -74,6 +74,8 @@ struct QueryStats {
   int64_t fold_ns = 0;            // time inside the rollup kernel (plan
                                   // lookup + fold + emit), a subset of
                                   // aggregation_ms
+  int fold_lanes = 1;             // peak morsel lanes any single fold ran
+                                  // on (> 1 = borrowed pool helpers)
 
   // Fault-path accounting.
   int64_t backend_attempts = 0;  // backend calls issued for this query
@@ -276,8 +278,29 @@ class QueryEngine {
   }
   ResultCache* result_cache() { return result_cache_; }
 
+  /// Attaches the shared morsel helper pool: large dense folds borrow idle
+  /// helpers for morsel-parallel execution (see Aggregator::set_morsel_pool
+  /// for the opportunistic-acquisition and batch-cap rules). Null (the
+  /// default) keeps every fold serial. The pool must outlive the engine.
+  void set_morsel_pool(MorselPool* pool) { aggregator_.set_morsel_pool(pool); }
+
+  /// Heap bytes retained by this engine's fold arena.
+  int64_t fold_arena_retained_bytes() const {
+    return aggregator_.arena_retained_bytes();
+  }
+
+  /// Called when the engine goes idle (e.g. returned to its pool): gives
+  /// back fold scratch beyond `limit_bytes` so one huge fold does not pin
+  /// its high-water memory forever. Returns true when a trim happened.
+  bool TrimFoldArenaIfAbove(int64_t limit_bytes) {
+    return aggregator_.TrimArenaIfAbove(limit_bytes);
+  }
+
   /// This engine's aggregator (fold counters, plan-cache stats).
   const Aggregator& aggregator() const { return aggregator_; }
+
+  /// Test/bench access to fold-kernel and morsel knobs.
+  Aggregator& mutable_aggregator() { return aggregator_; }
 
  private:
   /// Fetches `missing` chunks with retry/backoff under the breaker and the

@@ -208,6 +208,22 @@ class SparseFoldTable {
     for (size_t i : used_) fn(keys_[i], states_[i]);
   }
 
+  /// Heap bytes currently retained by the slot buffers.
+  int64_t retained_bytes() const {
+    return static_cast<int64_t>(keys_.capacity() * sizeof(int64_t) +
+                                states_.capacity() * sizeof(FoldState) +
+                                used_.capacity() * sizeof(size_t));
+  }
+
+  /// Releases all slot buffers (the next Reset() rebuilds at minimum
+  /// capacity and grows from there).
+  void TrimToDefault() {
+    std::vector<int64_t>().swap(keys_);
+    std::vector<FoldState>().swap(states_);
+    std::vector<size_t>().swap(used_);
+    mask_ = 0;
+  }
+
  private:
   static constexpr int64_t kEmpty = -1;
   static size_t Mix(int64_t key) {
@@ -265,6 +281,28 @@ class FoldArena {
   /// memory accounting.
   int64_t dense_capacity() const {
     return static_cast<int64_t>(dense_states_.size());
+  }
+
+  /// Heap bytes currently retained by every scratch buffer (dense states,
+  /// occupancy bytes, touched list, sparse table). One huge fold leaves the
+  /// arena holding its high-water mark forever; engines call
+  /// TrimToDefault() when they go idle to give it back.
+  int64_t retained_bytes() const {
+    return static_cast<int64_t>(dense_states_.capacity() * sizeof(FoldState) +
+                                dense_occupied_.capacity() +
+                                touched_.capacity() * sizeof(int64_t)) +
+           sparse_.retained_bytes();
+  }
+
+  /// Releases every scratch buffer. Only valid between folds (after
+  /// ResetDense(), i.e. with no touched offsets outstanding); the next
+  /// EnsureDense()/sparse Reset() re-grows from empty, value-initialized.
+  void TrimToDefault() {
+    AAC_DCHECK(touched_.empty());
+    std::vector<FoldState>().swap(dense_states_);
+    std::vector<uint8_t>().swap(dense_occupied_);
+    std::vector<int64_t>().swap(touched_);
+    sparse_.TrimToDefault();
   }
 
  private:

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/circuit_breaker.h"
 #include "core/concurrent_engine.h"
+#include "storage/chunk_data.h"
 #include "util/deadline.h"
 #include "util/rng.h"
 #include "workload/experiment.h"
@@ -197,6 +200,125 @@ TEST(OverloadStorm, CapacityOnlyStormShedsButNeverTimesOut) {
   EXPECT_TRUE(exp.cache().ValidateInvariants());
   EXPECT_EQ(exp.cache().TotalPinCount(), 0);
   EXPECT_EQ(pool.admission()->stats().running, 0);
+}
+
+// The large-fold morsel storm: every dense fold is morsel-eligible, tight
+// deadlines keep firing inside multi-lane folds, and batch/interactive
+// classes compete for the helpers. The contract: a cancelled morsel fold
+// tears nothing — no torn chunk reaches the cache, no helper arena keeps a
+// dead lane's state — so after the storm the pool still answers the biggest
+// query bit-identically to a freshly built, never-stormed stack.
+TEST(OverloadStorm, LargeFoldMorselStormCancelsCleanlyAndStaysBitIdentical) {
+  ExperimentConfig config;
+  config.data.num_tuples = 30'000;
+  config.data.seed = 47;
+  config.cache_fraction = 0.5;
+  config.cache_shards = 16;
+  Experiment exp(config);
+
+  ConcurrentQueryEngine pool([&exp] {
+    std::unique_ptr<QueryEngine> engine = exp.NewEngine();
+    // Every nonempty dense fold consults the helper pool, so the storm
+    // exercises multi-lane folds (and their mid-fold cancellation) rather
+    // than only folds past the production 64k-cell threshold.
+    engine->mutable_aggregator().set_morsel_min_cells(1);
+    return engine;
+  });
+  pool.ConfigureMorsels(3);
+  AdmissionConfig admission;
+  admission.max_concurrent = 4;
+  admission.max_queued_interactive = 4;
+  admission.max_queued_batch = 2;
+  pool.ConfigureAdmission(admission);
+
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 30;
+  std::atomic<int64_t> resolved{0};
+  std::atomic<int> peak_lanes{1};
+  std::atomic<bool> contract_violated{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(3000 + t));
+      const Lattice& lattice = exp.lattice();
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const GroupById gb =
+            static_cast<GroupById>(rng.Uniform(
+                static_cast<uint64_t>(lattice.num_groupbys())));
+        const Query q = Query::WholeLevel(exp.schema(), lattice.LevelOf(gb));
+        ExecContext ctx;
+        if (t % 3 == 0) ctx.query_class = QueryClass::kBatch;
+        // Hopeless, tight and unlimited budgets: the tight ones expire
+        // inside morsel-parallel folds, the unlimited ones verify the
+        // machinery still works between cancellations.
+        switch (rng.Uniform(3)) {
+          case 0:
+            ctx.deadline = Deadline::AfterNanos(50'000);
+            break;
+          case 1:
+            ctx.deadline = Deadline::AfterNanos(5'000'000);
+            break;
+          default:
+            break;
+        }
+        QueryStats stats;
+        QueryResult result = pool.ExecuteQuery(q, &ctx, &stats);
+        if (stats.status != result.status) contract_violated = true;
+        int prev = peak_lanes.load(std::memory_order_relaxed);
+        while (stats.fold_lanes > prev &&
+               !peak_lanes.compare_exchange_weak(prev, stats.fold_lanes,
+                                                 std::memory_order_relaxed)) {
+        }
+        ++resolved;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_FALSE(contract_violated.load());
+  EXPECT_EQ(resolved.load(), static_cast<int64_t>(kThreads) * kQueriesPerThread);
+
+  // No torn state: structural invariants hold, nothing stays pinned.
+  EXPECT_TRUE(exp.cache().ValidateInvariants());
+  EXPECT_EQ(exp.cache().TotalPinCount(), 0);
+  EXPECT_EQ(pool.admission()->stats().running, 0);
+
+  // Bit-identity against a never-stormed stack: the same config (and data
+  // seed) built fresh must answer the most detailed whole-level query with
+  // exactly the same chunks — any torn chunk an aborted fold leaked into
+  // the shared cache would surface here.
+  const Query verify =
+      Query::WholeLevel(exp.schema(),
+                        exp.lattice().LevelOf(exp.lattice().base_id()));
+  QueryStats pool_stats;
+  QueryResult got = pool.ExecuteQuery(verify, nullptr, &pool_stats);
+  ASSERT_EQ(got.status, ResultStatus::kOk);
+  ASSERT_TRUE(got.complete());
+
+  Experiment fresh(config);
+  std::unique_ptr<QueryEngine> fresh_engine = fresh.NewEngine();
+  QueryStats fresh_stats;
+  QueryResult want = fresh_engine->ExecuteQuery(verify, &fresh_stats);
+  ASSERT_EQ(want.status, ResultStatus::kOk);
+
+  auto by_chunk = [](const ChunkData& a, const ChunkData& b) {
+    return a.gb != b.gb ? a.gb < b.gb : a.chunk < b.chunk;
+  };
+  std::sort(got.chunks.begin(), got.chunks.end(), by_chunk);
+  std::sort(want.chunks.begin(), want.chunks.end(), by_chunk);
+  ASSERT_EQ(got.chunks.size(), want.chunks.size());
+  const int nd = exp.schema().num_dims();
+  for (size_t i = 0; i < got.chunks.size(); ++i) {
+    EXPECT_TRUE(ChunkDataEquals(nd, &got.chunks[i], &want.chunks[i], 0.0))
+        << "chunk " << i << " differs after the morsel storm";
+  }
+
+  // The storm genuinely ran multi-lane folds.
+  ASSERT_NE(pool.morsel_pool(), nullptr);
+  EXPECT_GT(pool.morsel_pool()->stats().parallel_runs, 0);
+  EXPECT_GT(peak_lanes.load(), 1);
 }
 
 }  // namespace

@@ -16,6 +16,12 @@
 #   tools/check.sh bench-smoke # rollup-kernel + overload-storm +
 #                              # result-cache smoke and the kernel suite
 #                              # under ASan+UBSan and TSan
+#   tools/check.sh kernel-simd # the kernel suite with AAC_FOLD_KERNEL
+#                              # forced to vector and then scalar: plain
+#                              # build first (runs rollup_kernel --smoke,
+#                              # which hosts the >= 1.5x SIMD perf assert),
+#                              # then ASan+UBSan, then TSan (the morsel
+#                              # path) — both forced modes each time
 #   tools/check.sh lint        # the lint wall (tools/lint.sh): repo
 #                              # invariants always; clang thread-safety
 #                              # analysis and clang-tidy when LLVM is
@@ -112,6 +118,37 @@ run_bench_smoke() {
   echo "=== bench-smoke/${name}: OK ==="
 }
 
+# Forced-dispatch gate for the fold kernel seam: run the "kernel"-labeled
+# tests (bit-identity property suite, morsel folds, arena accounting) with
+# AAC_FOLD_KERNEL pinned to "vector" and then "scalar", so neither runtime
+# dispatch nor the auto default can hide a kernel-specific bug. The plain
+# build also runs rollup_kernel --smoke, which asserts the vector dense
+# path >= 1.5x over scalar on AVX2 hardware (the bench skips that assert
+# under sanitizers and on machines without AVX2; forcing "vector" there
+# degrades to scalar by design, so the run still passes — it just stops
+# exercising a distinct code path).
+run_kernel_simd() {
+  local name="$1" build_dir="$2" sanitize="$3"
+  echo "=== kernel-simd/${name}: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  echo "=== kernel-simd/${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}" --target rollup_kernel \
+    aggregator_test rollup_plan_test fold_kernel_test morsel_fold_test \
+    fold_arena_test
+  if [ "${sanitize}" = "OFF" ]; then
+    echo "=== kernel-simd/${name}: rollup_kernel --smoke ==="
+    "${build_dir}/bench/rollup_kernel" --smoke
+  fi
+  local kernel
+  for kernel in vector scalar; do
+    echo "=== kernel-simd/${name}: ctest (-L kernel, AAC_FOLD_KERNEL=${kernel}) ==="
+    (cd "${build_dir}" &&
+      AAC_FOLD_KERNEL="${kernel}" ctest -L kernel --output-on-failure \
+        -j "${jobs}")
+  done
+  echo "=== kernel-simd/${name}: OK ==="
+}
+
 case "${mode}" in
   plain)
     run_config "plain" "${repo_root}/build"
@@ -134,6 +171,11 @@ case "${mode}" in
     run_bench_smoke "asan+ubsan" "${repo_root}/build-asan" ON
     run_bench_smoke "tsan" "${repo_root}/build-tsan" thread
     ;;
+  kernel-simd)
+    run_kernel_simd "plain" "${repo_root}/build" OFF
+    run_kernel_simd "asan+ubsan" "${repo_root}/build-asan" ON
+    run_kernel_simd "tsan" "${repo_root}/build-tsan" thread
+    ;;
   lint)
     "${repo_root}/tools/lint.sh"
     ;;
@@ -144,7 +186,7 @@ case "${mode}" in
     run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|robustness|resultcache|bench-smoke|lint|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|robustness|resultcache|bench-smoke|kernel-simd|lint|all]" >&2
     exit 2
     ;;
 esac

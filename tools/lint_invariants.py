@@ -38,6 +38,12 @@ it enforces the invariants that keep the clang gate meaningful:
       SleepForNanosClamped) or a deadline-bounded CondVar wait — a naked
       sleep deep in a retry or polling loop is invisible to the deadline
       machinery and happily oversleeps a query's remaining budget.
+  R7  Raw SIMD intrinsics (immintrin.h, _mm* calls, __m128/256/512 types)
+      are banned outside src/storage/fold_kernel.{h,cc}. The fold kernel is
+      the single CPU-dispatch seam: everywhere else stays portable so the
+      scalar fallback always compiles, tools/check.sh kernel-simd can force
+      either path, and bit-identity is proven against one seam instead of
+      scattered vector code.
 
 Exit status 0 with no output (beyond the summary) when clean; 1 with one
 line per finding otherwise.
@@ -205,6 +211,20 @@ ANNOTATION_TABLE = [
     ("src/backend/fault_injector.h",
      r"stats_\s+AAC_GUARDED_BY\(mutex_\)",
      "FaultInjectingBackend::stats_ must be AAC_GUARDED_BY(mutex_)"),
+    # Morsel pool: the work queue, idle count and stop flag are the
+    # helper-dispatch protocol; losing a guard means a racy helper borrow.
+    ("src/storage/morsel_pool.h",
+     r"pending_\s+AAC_GUARDED_BY\(mutex_\)",
+     "MorselPool::pending_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/storage/morsel_pool.h",
+     r"idle_\s+AAC_GUARDED_BY\(mutex_\)",
+     "MorselPool::idle_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/storage/morsel_pool.h",
+     r"stop_\s+AAC_GUARDED_BY\(mutex_\)",
+     "MorselPool::stop_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/storage/morsel_pool.h",
+     r"stats_\s+AAC_GUARDED_BY\(mutex_\)",
+     "MorselPool::stats_ must be AAC_GUARDED_BY(mutex_)"),
 ]
 
 
@@ -266,6 +286,8 @@ CONCURRENCY_MARKERS = re.compile(
     r"|\"core/single_flight\.h\""
     r"|\"cache/chunk_cache\.h\""
     r"|\"storage/rollup_plan\.h\""
+    r"|\"storage/fold_kernel\.h\""
+    r"|\"storage/morsel_pool\.h\""
     r"|\"workload/parallel_runner\.h\")"
 )
 
@@ -357,6 +379,40 @@ def check_raw_sleeps():
                     )
 
 
+# --------------------------------------------------------------------------
+# R7: SIMD intrinsics confined to the fold-kernel seam.
+# --------------------------------------------------------------------------
+
+INTRINSIC_TOKENS = re.compile(
+    r"#\s*include\s*<(?:imm|avx|x86|e?mm)intrin\.h>"
+    r"|\b_mm\d*_\w+\s*\("
+    r"|\b__m(?:128|256|512)[id]?\b"
+    r"|\b__builtin_ia32_\w+"
+)
+
+KERNEL_SEAM = ("src/storage/fold_kernel.h", "src/storage/fold_kernel.cc")
+
+
+def check_intrinsics_confined():
+    roots = [REPO / d for d in ("src", "bench", "tests", "examples")]
+    for root in roots:
+        if not root.exists():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            if str(path.relative_to(REPO)) in KERNEL_SEAM:
+                continue
+            for lineno, code in source_lines(path):
+                if INTRINSIC_TOKENS.search(code):
+                    finding(
+                        path, lineno, "R7-intrinsics",
+                        "raw SIMD intrinsics outside src/storage/"
+                        "fold_kernel.* — route vector code through the "
+                        "fold-kernel seam (FoldKernelKind dispatch)",
+                    )
+
+
 def main():
     check_raw_locks()
     check_annotation_table()
@@ -364,6 +420,7 @@ def main():
     check_fold_hot_path()
     check_test_registry()
     check_raw_sleeps()
+    check_intrinsics_confined()
     if findings:
         for line in findings:
             print(line)
