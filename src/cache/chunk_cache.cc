@@ -70,6 +70,8 @@ CacheStats ChunkCache::stats() const {
     total.inserts += shard->stats.inserts;
     total.rejected_inserts += shard->stats.rejected_inserts;
     total.evictions += shard->stats.evictions;
+    total.demotions += shard->stats.demotions;
+    total.demoted_bytes += shard->stats.demoted_bytes;
   }
   return total;
 }
@@ -146,7 +148,30 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
   const auto tuples = static_cast<int64_t>(data.tuple_count());
 
   Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mutex);
+  std::vector<Demoted> demoted;
+  bool erase_sink = false;
+  bool inserted;
+  {
+    MutexLock lock(shard.mutex);
+    inserted = InsertLocked(shard, key, info, std::move(data), tuples,
+                            &demoted, &erase_sink);
+  }
+  // Sink calls run with no shard lock held. Victims demote even when the
+  // insert itself was ultimately rejected — their bytes already left the
+  // hot budget. A successful insert also purges the key from lower tiers
+  // (single authoritative copy; a stale demoted blob must never be
+  // promoted over this fresher data).
+  if (sink_ != nullptr) {
+    for (Demoted& d : demoted) sink_->OnDemote(d.info, std::move(d.data));
+    if (erase_sink) sink_->OnErase(key);
+  }
+  return inserted;
+}
+
+bool ChunkCache::InsertLocked(Shard& shard, const CacheKey& key,
+                              const CacheEntryInfo& info, ChunkData&& data,
+                              int64_t tuples, std::vector<Demoted>* demoted,
+                              bool* erase_sink) {
   auto existing = shard.entries.find(key);
   if (existing != shard.entries.end()) {
     Entry& entry = existing->second;
@@ -165,7 +190,7 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
     if (needed > 0) {
       // Shield the entry being replaced from its own eviction sweep.
       ++entry.pin_count;
-      const bool evicted = EvictFor(shard, info, needed);
+      const bool evicted = EvictFor(shard, info, needed, demoted);
       --entry.pin_count;
       if (!evicted) {
         ++shard.stats.rejected_inserts;
@@ -194,6 +219,7 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
     entry.info = info;
     entry.clock_value = policy_->ClockValue(info);
     entry.victim_class = new_class;
+    *erase_sink = true;
     for (CacheListener* l : listeners_) l->OnUpdate(key, tuples);
     return true;
   }
@@ -204,7 +230,7 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
   }
 
   const int64_t needed = shard.bytes_used + info.bytes - shard.capacity;
-  if (needed > 0 && !EvictFor(shard, info, needed)) {
+  if (needed > 0 && !EvictFor(shard, info, needed, demoted)) {
     ++shard.stats.rejected_inserts;
     return false;
   }
@@ -226,18 +252,28 @@ bool ChunkCache::Insert(ChunkData data, double benefit, ChunkSource source) {
   shard.class_bytes[static_cast<size_t>(victim_class)] += info.bytes;
   shard.entries.emplace(key, std::move(entry));
   ++shard.stats.inserts;
+  *erase_sink = true;
   for (CacheListener* l : listeners_) l->OnInsert(key, tuples);
   return true;
 }
 
 bool ChunkCache::Remove(const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mutex);
-  auto it = shard.entries.find(key);
-  if (it == shard.entries.end()) return false;
-  AAC_CHECK_EQ(it->second.pin_count, 0);
-  EvictEntry(shard, it);
-  return true;
+  bool removed = false;
+  {
+    MutexLock lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      AAC_CHECK_EQ(it->second.pin_count, 0);
+      EvictEntry(shard, it, /*demoted=*/nullptr);
+      removed = true;
+    }
+  }
+  // Explicit removal is invalidation: purge lower tiers unconditionally —
+  // the key may live only in warm/disk after a hot eviction. The return
+  // value still reports hot-tier residency only.
+  if (sink_ != nullptr) sink_->OnErase(key);
+  return removed;
 }
 
 void ChunkCache::Boost(const CacheKey& key, double amount) {
@@ -325,7 +361,7 @@ int64_t ChunkCache::TotalPinCount() const {
 }
 
 bool ChunkCache::EvictFor(Shard& shard, const CacheEntryInfo& incoming,
-                          int64_t needed) {
+                          int64_t needed, std::vector<Demoted>* demoted) {
   // Fast reject: not enough evictable bytes in the classes this chunk may
   // replace — no point sweeping.
   int64_t available = 0;
@@ -371,7 +407,7 @@ bool ChunkCache::EvictFor(Shard& shard, const CacheEntryInfo& incoming,
       eligible_in_rev = true;
       if (entry.clock_value <= 0.0) {
         freed += entry.info.bytes;
-        EvictEntry(shard, it);  // advances the hand past the victim
+        EvictEntry(shard, it, demoted);  // advances the hand past the victim
         continue;
       }
       entry.clock_value -= 1.0;
@@ -381,7 +417,8 @@ bool ChunkCache::EvictFor(Shard& shard, const CacheEntryInfo& incoming,
   return freed >= needed;
 }
 
-void ChunkCache::EvictEntry(Shard& shard, EntryMap::iterator it) {
+void ChunkCache::EvictEntry(Shard& shard, EntryMap::iterator it,
+                            std::vector<Demoted>* demoted) {
   const CacheKey key = it->first;
   const auto victim_class = static_cast<size_t>(it->second.victim_class);
   if (shard.hands[victim_class] == it->second.ring_pos) {
@@ -390,6 +427,15 @@ void ChunkCache::EvictEntry(Shard& shard, EntryMap::iterator it) {
   shard.rings[victim_class].erase(it->second.ring_pos);
   shard.bytes_used -= it->second.info.bytes;
   shard.class_bytes[victim_class] -= it->second.info.bytes;
+  if (demoted != nullptr && sink_ != nullptr) {
+    // Demotion: the bytes left the hot budget in this same critical
+    // section, so the entry is never charged to two tiers at once. The
+    // sink sees the data only after the caller drops the shard lock.
+    ++shard.stats.demotions;
+    shard.stats.demoted_bytes += it->second.info.bytes;
+    demoted->push_back(
+        Demoted{it->second.info, std::move(it->second.data)});
+  }
   shard.entries.erase(it);
   ++shard.stats.evictions;
   for (CacheListener* l : listeners_) l->OnEvict(key);

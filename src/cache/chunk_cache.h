@@ -23,6 +23,37 @@ struct CacheStats {
   int64_t inserts = 0;
   int64_t rejected_inserts = 0;
   int64_t evictions = 0;
+  /// Capacity evictions handed to the demotion sink (subset of
+  /// `evictions`; explicit Removes are never demoted).
+  int64_t demotions = 0;
+  /// Logical bytes of those demoted entries. Counted in the same critical
+  /// section that subtracts them from the shard's bytes_used, so there is
+  /// no window where a migrating entry is charged to both tiers.
+  int64_t demoted_bytes = 0;
+};
+
+/// Receiver of the hot tier's eviction victims — the hook that turns
+/// eviction from "free the bytes" into a demotion pipeline (warm tier).
+///
+/// Concurrency contract: unlike CacheListener, every method is invoked
+/// with NO shard lock held (the victim's bytes have already left the hot
+/// accounting atomically). Implementations may take their own locks and
+/// perform heavy work (compression, I/O) but must not call back into the
+/// hot cache, which fixes the lock order "hot shard -> sink".
+class DemotionSink {
+ public:
+  virtual ~DemotionSink() = default;
+
+  /// A capacity eviction pushed this entry out of the hot tier; the data
+  /// is moved to the sink.
+  virtual void OnDemote(const CacheEntryInfo& info, ChunkData&& data) = 0;
+
+  /// The key's authoritative copy changed or vanished: a successful Insert
+  /// made (or refreshed) a hot-resident copy, or an explicit Remove
+  /// (invalidation) dropped the key — possibly one the hot tier never
+  /// held, so lower tiers are purged too. Sinks drop their copies; stale
+  /// demoted data must never be promoted later.
+  virtual void OnErase(const CacheKey& key) = 0;
 };
 
 /// Middle-tier chunk cache with weighted-CLOCK replacement.
@@ -70,6 +101,11 @@ class ChunkCache {
   /// Registers a membership observer; must outlive the cache. Not
   /// thread-safe: register all listeners before concurrent use.
   void AddListener(CacheListener* listener);
+
+  /// Installs the demotion sink (warm tier); must outlive the cache. Not
+  /// thread-safe: install before concurrent use. Null detaches.
+  void set_demotion_sink(DemotionSink* sink) { sink_ = sink; }
+  DemotionSink* demotion_sink() const { return sink_; }
 
   int64_t capacity_bytes() const { return capacity_bytes_; }
   int64_t bytes_per_tuple() const { return bytes_per_tuple_; }
@@ -120,8 +156,10 @@ class ChunkCache {
   /// reader — the insert only refreshes the clock value and returns true.
   bool Insert(ChunkData data, double benefit, ChunkSource source);
 
-  /// Removes a chunk; returns false if it was not cached. The entry must
-  /// not be pinned.
+  /// Removes a chunk; returns false if it was not cached (hot-tier
+  /// residency only). The entry must not be pinned. The demotion sink's
+  /// OnErase fires even when the key was not hot-resident, so invalidation
+  /// purges warm/disk copies of keys the hot tier already evicted.
   bool Remove(const CacheKey& key);
 
   /// Adds `amount` to the entry's clock value (the two-level policy boosts
@@ -161,6 +199,13 @@ class ChunkCache {
     std::list<CacheKey>::iterator ring_pos;
   };
 
+  /// A capacity-eviction victim collected under the shard lock, to be
+  /// offered to the demotion sink after the lock is released.
+  struct Demoted {
+    CacheEntryInfo info;
+    ChunkData data;
+  };
+
   using EntryMap = std::unordered_map<CacheKey, Entry, CacheKeyHash>;
 
   /// One lock domain: entries, CLOCK rings/hands and byte accounting for
@@ -187,19 +232,32 @@ class ChunkCache {
     return *shards_[CacheKeyHash()(key) % shards_.size()];
   }
 
+  /// The locked body of Insert. Victims evicted to make room are moved
+  /// into `*demoted` (when a sink is installed); `*erase_sink` is set when
+  /// the caller must fire OnErase(key) after unlocking.
+  bool InsertLocked(Shard& shard, const CacheKey& key,
+                    const CacheEntryInfo& info, ChunkData&& data,
+                    int64_t tuples, std::vector<Demoted>* demoted,
+                    bool* erase_sink) AAC_REQUIRES(shard.mutex);
+
   /// Frees at least `needed` bytes in `shard` by sweeping the per-class
   /// clock rings; returns true on success. Entries the policy refuses to
-  /// replace or that are pinned are skipped (without decrement). Caller
-  /// holds the shard lock.
-  bool EvictFor(Shard& shard, const CacheEntryInfo& incoming, int64_t needed)
-      AAC_REQUIRES(shard.mutex);
+  /// replace or that are pinned are skipped (without decrement). Victims
+  /// demote into `*demoted` (see EvictEntry). Caller holds the shard lock.
+  bool EvictFor(Shard& shard, const CacheEntryInfo& incoming, int64_t needed,
+                std::vector<Demoted>* demoted) AAC_REQUIRES(shard.mutex);
 
-  void EvictEntry(Shard& shard, EntryMap::iterator it)
-      AAC_REQUIRES(shard.mutex);
+  /// Removes the entry from the shard (bytes leave the hot accounting
+  /// here, atomically). With a sink installed and `demoted` non-null the
+  /// entry's data is moved into `*demoted` for a post-unlock OnDemote;
+  /// otherwise it is destroyed. Null `demoted` = explicit removal.
+  void EvictEntry(Shard& shard, EntryMap::iterator it,
+                  std::vector<Demoted>* demoted) AAC_REQUIRES(shard.mutex);
 
   int64_t capacity_bytes_;
   int64_t bytes_per_tuple_;
   const ReplacementPolicy* policy_;
+  DemotionSink* sink_ = nullptr;
   std::vector<CacheListener*> listeners_;
   // unique_ptr: Shard holds a mutex and must never move.
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -29,6 +29,7 @@ std::unique_ptr<QueryEngine> ConcurrentQueryEngine::Borrow() {
   engine->set_rollup_plan_cache(&rollup_plans_);
   if (shared_breaker_ != nullptr) engine->set_circuit_breaker(shared_breaker_);
   if (result_cache_ != nullptr) engine->set_result_cache(result_cache_);
+  if (warm_tier_ != nullptr) engine->set_warm_tier(warm_tier_);
   engine->set_morsel_pool(morsel_pool_.get());
   return engine;
 }
@@ -62,6 +63,14 @@ void ConcurrentQueryEngine::set_result_cache(ResultCache* result_cache) {
   // Borrow).
   MutexLock lock(pool_mutex_);
   for (auto& engine : idle_) engine->set_result_cache(result_cache);
+}
+
+void ConcurrentQueryEngine::set_warm_tier(WarmTier* warm_tier) {
+  warm_tier_ = warm_tier;
+  // Rewire any engines already sitting in the pool (new ones are wired in
+  // Borrow).
+  MutexLock lock(pool_mutex_);
+  for (auto& engine : idle_) engine->set_warm_tier(warm_tier);
 }
 
 void ConcurrentQueryEngine::Return(std::unique_ptr<QueryEngine> engine) {

@@ -79,6 +79,13 @@ class ConcurrentQueryEngine {
   /// replace-in-place staleness hook.
   void set_result_cache(ResultCache* result_cache);
 
+  /// Shares one warm (compressed) tier across every pooled engine: any
+  /// thread's hot-cache miss can promote a chunk some other thread's
+  /// eviction demoted. Call before concurrent use; the tier must outlive
+  /// the pool. The caller installs the same tier as the hot cache's
+  /// demotion sink.
+  void set_warm_tier(WarmTier* warm_tier);
+
   /// Creates a MorselPool of `num_helpers` helper threads and wires it
   /// into every pooled engine: large dense folds go morsel-parallel across
   /// idle helpers (opportunistic borrow, batch-class cap — see
@@ -124,6 +131,7 @@ class ConcurrentQueryEngine {
   std::unique_ptr<MorselPool> morsel_pool_;   // set before threads start
   CircuitBreaker* shared_breaker_ = nullptr;  // set before threads start
   ResultCache* result_cache_ = nullptr;       // set before threads start
+  WarmTier* warm_tier_ = nullptr;             // set before threads start
   std::atomic<int64_t> fold_arena_trims_{0};
   mutable Mutex pool_mutex_;
   std::vector<std::unique_ptr<QueryEngine>> idle_ AAC_GUARDED_BY(pool_mutex_);

@@ -116,7 +116,11 @@ std::string QueryEngine::ExplainQuery(const Query& query) {
     out += std::to_string(chunk);
     out += ": ";
     if (plan == nullptr) {
-      out += backend_trusted ? "MISS -> backend\n" : "MISS -> UNAVAILABLE\n";
+      if (warm_tier_ != nullptr && warm_tier_->Contains(CacheKey{gb, chunk})) {
+        out += "MISS -> warm tier (promote)\n";
+      } else {
+        out += backend_trusted ? "MISS -> backend\n" : "MISS -> UNAVAILABLE\n";
+      }
       continue;
     }
     if (plan->cached) {
@@ -411,6 +415,45 @@ QueryResult QueryEngine::ExecuteQuery(const Query& query, ExecContext* ctx,
   aggregator_.set_exec_context(nullptr);
   s.cancel_checks += aggregator_.cancel_checks() - agg_checks_before;
   s.aggregation_ms = agg_timer.ElapsedMillis();
+
+  // --- Warm-tier probe: chunks neither cached nor computable may still
+  // live compressed in the warm tier or its disk spill. Hits are decoded
+  // (single-flighted, off the hot shard locks) and promoted back into the
+  // hot cache. This phase deliberately runs even when the breaker is open:
+  // a dark backend degrades to warm-tier-carried service, not
+  // unavailability. ---
+  if (warm_tier_ != nullptr && !missing.empty() && !aborted) {
+    Stopwatch promote_timer;
+    std::vector<ChunkId> still_missing;
+    still_missing.reserve(missing.size());
+    for (ChunkId chunk : missing) {
+      ++s.cancel_checks;
+      if (aborted || ctx->ShouldAbort()) {
+        // Teardown mid-phase: the rest stays missing and is reported
+        // unavailable by the aborted branch below.
+        aborted = true;
+        still_missing.push_back(chunk);
+        continue;
+      }
+      WarmProbeResult probe;
+      if (!warm_tier_->Probe(CacheKey{gb, chunk}, ctx, &probe)) {
+        still_missing.push_back(chunk);
+        continue;
+      }
+      s.decode_ms += static_cast<double>(probe.decode_ns) / 1e6;
+      if (probe.from_disk) {
+        ++s.chunks_disk;
+      } else {
+        ++s.chunks_warm;
+      }
+      // Promote: the hot insert's demotion hooks purge the warm/disk copy,
+      // so the chunk is resident in exactly one tier again.
+      cache_->Insert(probe.data, probe.info.benefit, probe.info.source);
+      results.push_back(std::move(probe.data));
+    }
+    missing = std::move(still_missing);
+    s.aggregation_ms += promote_timer.ElapsedMillis();
+  }
 
   // --- Backend phase: one SQL query for all missing chunks, retried with
   // backoff on failure; what cannot be fetched degrades instead of

@@ -9,6 +9,7 @@
 #include "cache/benefit.h"
 #include "cache/chunk_cache.h"
 #include "cache/result_cache.h"
+#include "cache/warm_tier.h"
 #include "core/circuit_breaker.h"
 #include "core/executor.h"
 #include "core/query.h"
@@ -69,6 +70,10 @@ struct QueryStats {
                                   // in-flight fetch (single-flight)
   int64_t chunks_bypassed = 0;    // computable, but backend was cheaper
   int64_t chunks_unavailable = 0; // backend down and not cache-computable
+  int64_t chunks_warm = 0;        // promoted from the compressed warm tier
+  int64_t chunks_disk = 0;        // promoted from the disk spill tier
+  double decode_ms = 0.0;         // warm/disk blob decode time (this
+                                  // query's share; 0 for coalesced waits)
 
   int64_t tuples_aggregated = 0;  // in-cache aggregation work
   int64_t fold_ns = 0;            // time inside the rollup kernel (plan
@@ -278,6 +283,17 @@ class QueryEngine {
   }
   ResultCache* result_cache() { return result_cache_; }
 
+  /// Attaches the warm (compressed) tier: hot-cache misses probe it —
+  /// warm RAM first, then its disk tier — before falling through to
+  /// aggregation or the backend, and hits are promoted back into the hot
+  /// cache. Null (the default) disables tiering. The tier must outlive the
+  /// engine; it is shared by a whole pool and is typically also installed
+  /// as the hot cache's demotion sink. The probe phase runs even while the
+  /// circuit breaker is open, so a dark backend degrades to
+  /// warm-tier-carried service instead of unavailability.
+  void set_warm_tier(WarmTier* warm_tier) { warm_tier_ = warm_tier; }
+  WarmTier* warm_tier() { return warm_tier_; }
+
   /// Attaches the shared morsel helper pool: large dense folds borrow idle
   /// helpers for morsel-parallel execution (see Aggregator::set_morsel_pool
   /// for the opportunistic-acquisition and batch-cap rules). Null (the
@@ -327,6 +343,7 @@ class QueryEngine {
   CircuitBreaker* external_breaker_ = nullptr;
   SingleFlight* single_flight_ = nullptr;
   ResultCache* result_cache_ = nullptr;
+  WarmTier* warm_tier_ = nullptr;
 };
 
 }  // namespace aac

@@ -109,6 +109,26 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
   cache_ = std::make_unique<ChunkCache>(capacity, config.bytes_per_tuple,
                                         policy_.get(), config.cache_shards);
 
+  // Tiered cache: warm (compressed) tier as the hot cache's demotion sink,
+  // optionally backed by a disk spill tier (DESIGN.md §14).
+  if (config.warm_fraction > 0.0) {
+    if (!config.disk_spill_path.empty() && config.disk_spill_bytes > 0) {
+      DiskTier::Config disk_config;
+      disk_config.path = config.disk_spill_path;
+      disk_config.capacity_bytes = config.disk_spill_bytes;
+      disk_tier_ = std::make_unique<DiskTier>(disk_config);
+      AAC_CHECK(disk_tier_->Open());
+    }
+    WarmTier::Config warm_config;
+    warm_config.capacity_bytes = static_cast<int64_t>(
+        config.warm_fraction * static_cast<double>(capacity));
+    warm_config.num_dims = cube_->schema().num_dims();
+    warm_config.min_benefit_per_byte = config.warm_min_benefit_per_byte;
+    warm_config.disk = disk_tier_.get();
+    warm_tier_ = std::make_unique<WarmTier>(warm_config);
+    cache_->set_demotion_sink(warm_tier_.get());
+  }
+
   switch (config.strategy) {
     case StrategyKind::kNoAgg:
       strategy_ = std::make_unique<NoAggregationStrategy>(cache_.get());
@@ -142,6 +162,7 @@ Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
                                           strategy_.get(), engine_backend,
                                           benefit_.get(), clock_.get(),
                                           config.engine);
+  if (warm_tier_ != nullptr) engine_->set_warm_tier(warm_tier_.get());
   if (config.preload) Preload();
 }
 
@@ -154,10 +175,12 @@ std::unique_ptr<QueryEngine> Experiment::NewEngine() {
   Backend* engine_backend = fault_injector_ != nullptr
                                 ? static_cast<Backend*>(fault_injector_.get())
                                 : static_cast<Backend*>(backend_.get());
-  return std::make_unique<QueryEngine>(&cube_->grid(), cache_.get(),
-                                       strategy_.get(), engine_backend,
-                                       benefit_.get(), clock_.get(),
-                                       config_.engine);
+  auto engine = std::make_unique<QueryEngine>(&cube_->grid(), cache_.get(),
+                                              strategy_.get(), engine_backend,
+                                              benefit_.get(), clock_.get(),
+                                              config_.engine);
+  if (warm_tier_ != nullptr) engine->set_warm_tier(warm_tier_.get());
+  return engine;
 }
 
 }  // namespace aac

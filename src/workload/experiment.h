@@ -8,7 +8,9 @@
 #include "backend/fault_injector.h"
 #include "cache/benefit.h"
 #include "cache/chunk_cache.h"
+#include "cache/disk_tier.h"
 #include "cache/preloader.h"
+#include "cache/warm_tier.h"
 #include "cache/replacement.h"
 #include "chunks/chunk_size_model.h"
 #include "core/query_engine.h"
@@ -74,6 +76,24 @@ struct ExperimentConfig {
   /// descendants that fits) before the workload.
   bool preload = false;
 
+  // --- Tiered cache (DESIGN.md §14). All off by default. ---
+
+  /// Warm-tier budget as a fraction of the HOT cache's byte capacity
+  /// (encoded bytes; the codec typically packs 3-10x, so 0.3 of warm RAM
+  /// holds roughly as much as the hot tier itself). 0 disables tiering.
+  double warm_fraction = 0.0;
+
+  /// Demotion gate: hot victims with benefit per logical byte below this
+  /// are dropped instead of compressed. 0 admits everything.
+  double warm_min_benefit_per_byte = 0.0;
+
+  /// Spill file for the optional third tier; empty disables disk spill.
+  /// Only meaningful with warm_fraction > 0.
+  std::string disk_spill_path;
+
+  /// Live-byte budget for the disk tier (encoded bytes).
+  int64_t disk_spill_bytes = 0;
+
   /// ESMC search budget (node visits per lookup).
   int64_t esmc_budget = 20'000'000;
 };
@@ -113,6 +133,14 @@ class Experiment {
   /// The fault injector, or nullptr when no faults are configured.
   FaultInjectingBackend* fault_injector() { return fault_injector_.get(); }
   ChunkCache& cache() { return *cache_; }
+
+  /// The warm (compressed) tier, or nullptr when warm_fraction == 0. Also
+  /// installed as the hot cache's demotion sink and wired into every
+  /// engine this experiment vends.
+  WarmTier* warm_tier() { return warm_tier_.get(); }
+
+  /// The disk spill tier, or nullptr when not configured.
+  DiskTier* disk_tier() { return disk_tier_.get(); }
   LookupStrategy& strategy() { return *strategy_; }
   QueryEngine& engine() { return *engine_; }
   SimClock& sim_clock() { return *clock_; }
@@ -143,6 +171,8 @@ class Experiment {
   std::unique_ptr<FaultInjectingBackend> fault_injector_;
   std::unique_ptr<ReplacementPolicy> policy_;
   std::unique_ptr<ChunkCache> cache_;
+  std::unique_ptr<DiskTier> disk_tier_;
+  std::unique_ptr<WarmTier> warm_tier_;
   std::unique_ptr<LookupStrategy> strategy_;
   std::unique_ptr<QueryEngine> engine_;
 };

@@ -13,6 +13,9 @@ void AccumulateStats(const QueryStats& stats, WorkloadTotals* totals) {
   totals->chunks_backend += stats.chunks_backend;
   totals->chunks_coalesced += stats.chunks_coalesced;
   totals->chunks_unavailable += stats.chunks_unavailable;
+  totals->chunks_warm += stats.chunks_warm;
+  totals->chunks_disk += stats.chunks_disk;
+  totals->decode_ms += stats.decode_ms;
   totals->degraded_complete +=
       stats.status == ResultStatus::kDegradedComplete ? 1 : 0;
   totals->degraded_partial +=

@@ -23,6 +23,11 @@ struct WorkloadTotals {
                                  // query's in-flight fetch
   int64_t chunks_unavailable = 0;
 
+  // Tiered-cache outcomes (all zero without a WarmTier).
+  int64_t chunks_warm = 0;  // promoted from the compressed warm tier
+  int64_t chunks_disk = 0;  // promoted from the disk spill tier
+  double decode_ms = 0.0;   // warm/disk blob decode time
+
   // Fault-path outcomes (all zero against a healthy backend).
   int64_t degraded_complete = 0;  // fully answered while backend was down
   int64_t degraded_partial = 0;   // some chunks unavailable

@@ -1,0 +1,239 @@
+#include "storage/chunk_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "storage/chunk_data.h"
+#include "util/rng.h"
+
+namespace aac {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+// Exact structural equality: stored cell order, coordinates (all kMaxDims
+// slots) and every FoldState double compared bit for bit — the codec's
+// contract is stronger than ChunkDataEquals' epsilon/canonicalize check.
+::testing::AssertionResult BitIdentical(const ChunkData& a,
+                                        const ChunkData& b) {
+  if (a.gb != b.gb || a.chunk != b.chunk) {
+    return ::testing::AssertionFailure() << "key mismatch";
+  }
+  if (a.cells.size() != b.cells.size()) {
+    return ::testing::AssertionFailure()
+           << "cell count " << a.cells.size() << " vs " << b.cells.size();
+  }
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    const Cell& x = a.cells[i];
+    const Cell& y = b.cells[i];
+    for (size_t d = 0; d < kMaxDims; ++d) {
+      if (x.values[d] != y.values[d]) {
+        return ::testing::AssertionFailure()
+               << "cell " << i << " dim " << d << ": " << x.values[d]
+               << " vs " << y.values[d];
+      }
+    }
+    if (x.count != y.count) {
+      return ::testing::AssertionFailure() << "cell " << i << " count";
+    }
+    if (!BitEqual(x.measure, y.measure) || !BitEqual(x.min, y.min) ||
+        !BitEqual(x.max, y.max)) {
+      return ::testing::AssertionFailure()
+             << "cell " << i << " aggregate bits differ";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// A double from the full spectrum of IEEE-754 oddities: ordinary values,
+// signed zeros, denormals, infinities, NaNs with payloads, and raw random
+// bit patterns (which cover everything else).
+double WildDouble(Rng& rng) {
+  switch (rng.Uniform(8)) {
+    case 0:
+      return rng.UniformDouble() * 1e6;
+    case 1:
+      return -rng.UniformDouble() * 1e-6;
+    case 2:
+      return rng.Bernoulli(0.5) ? 0.0 : -0.0;
+    case 3:  // denormal
+      return std::bit_cast<double>(rng.Uniform(1ULL << 52));
+    case 4:
+      return rng.Bernoulli(0.5) ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity();
+    case 5:  // NaN with a random payload
+      return std::bit_cast<double>(0x7ff8000000000000ULL | rng.NextU64());
+    case 6:  // realistic aggregate: smallish integer-ish sum
+      return static_cast<double>(rng.UniformInt(-10'000, 10'000));
+    default:
+      return std::bit_cast<double>(rng.NextU64());
+  }
+}
+
+ChunkData RandomChunk(Rng& rng, int num_dims, int max_cells,
+                      bool sorted_realistic) {
+  ChunkData data;
+  data.gb = rng.UniformInt(0, 1'000'000);
+  data.chunk = rng.UniformInt(0, 1'000'000'000);
+  const int cells = static_cast<int>(rng.Uniform(
+      static_cast<uint64_t>(max_cells) + 1));
+  for (int i = 0; i < cells; ++i) {
+    Cell c;
+    for (int d = 0; d < num_dims; ++d) {
+      c.values[static_cast<size_t>(d)] =
+          sorted_realistic
+              ? static_cast<int32_t>(rng.UniformInt(0, 500))
+              : static_cast<int32_t>(rng.NextU64());
+    }
+    if (sorted_realistic && rng.Bernoulli(0.7)) {
+      // Count-1 cell: min == max == measure (the point-cell bitmap path).
+      InitCellAggregates(c, static_cast<double>(rng.UniformInt(0, 1000)));
+    } else {
+      c.measure = WildDouble(rng);
+      c.count = rng.Bernoulli(0.2) ? rng.UniformInt(-5, 5)
+                                   : rng.UniformInt(0, 1'000'000);
+      c.min = WildDouble(rng);
+      c.max = WildDouble(rng);
+    }
+    data.cells.push_back(c);
+  }
+  if (sorted_realistic) {
+    // Canonical order, as cached chunks come out of the fold/backend.
+    CanonicalizeChunkData(num_dims, &data);
+  }
+  return data;
+}
+
+// The tentpole property: 1,000+ randomized chunks, realistic and
+// adversarial, every round trip bit-identical.
+TEST(ChunkCodecTest, RandomizedRoundTripBitIdentity) {
+  Rng rng(20260808);
+  int raw_fallbacks = 0;
+  for (int iter = 0; iter < 1200; ++iter) {
+    const int num_dims = static_cast<int>(rng.UniformInt(1, kMaxDims));
+    const bool realistic = iter % 3 != 0;
+    const ChunkData original =
+        RandomChunk(rng, num_dims, /*max_cells=*/iter % 50 == 0 ? 2000 : 120,
+                    realistic);
+    std::vector<uint8_t> blob;
+    EncodedChunkInfo info;
+    EncodeChunk(num_dims, original, &blob, &info);
+    EXPECT_EQ(info.encoded_bytes, static_cast<int64_t>(blob.size()));
+    raw_fallbacks += info.stored_raw ? 1 : 0;
+    ChunkData decoded;
+    ASSERT_TRUE(
+        DecodeChunk(num_dims, blob.data(), blob.size(), &decoded))
+        << "iter " << iter;
+    EXPECT_TRUE(BitIdentical(original, decoded)) << "iter " << iter;
+  }
+  // Both encoder paths must have been exercised.
+  EXPECT_GT(raw_fallbacks, 0);
+  EXPECT_LT(raw_fallbacks, 1200);
+}
+
+TEST(ChunkCodecTest, RealisticDataCompresses) {
+  Rng rng(7);
+  int64_t raw = 0;
+  int64_t encoded = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    const ChunkData data = RandomChunk(rng, 3, 400, /*sorted_realistic=*/true);
+    std::vector<uint8_t> blob;
+    EncodedChunkInfo info;
+    EncodeChunk(3, data, &blob, &info);
+    raw += info.raw_payload_bytes;
+    encoded += info.encoded_bytes;
+  }
+  // Canonically sorted coords + point-cell bitmap should win clearly.
+  EXPECT_LT(encoded, raw / 2);
+}
+
+TEST(ChunkCodecTest, EmptyChunkRoundTrips) {
+  ChunkData data;
+  data.gb = 5;
+  data.chunk = 17;
+  std::vector<uint8_t> blob;
+  EncodeChunk(4, data, &blob);
+  ChunkData decoded;
+  ASSERT_TRUE(DecodeChunk(4, blob.data(), blob.size(), &decoded));
+  EXPECT_EQ(decoded.gb, 5);
+  EXPECT_EQ(decoded.chunk, 17);
+  EXPECT_TRUE(decoded.cells.empty());
+}
+
+TEST(ChunkCodecTest, HighEntropyFallsBackToRaw) {
+  Rng rng(99);
+  const ChunkData data = RandomChunk(rng, kMaxDims, 200,
+                                     /*sorted_realistic=*/false);
+  std::vector<uint8_t> blob;
+  EncodedChunkInfo info;
+  EncodeChunk(kMaxDims, data, &blob, &info);
+  EXPECT_TRUE(info.stored_raw);
+  // Raw fallback bounds the blob: payload + header + checksum + count.
+  EXPECT_LE(info.encoded_bytes, info.raw_payload_bytes + 64);
+  ChunkData decoded;
+  ASSERT_TRUE(DecodeChunk(kMaxDims, blob.data(), blob.size(), &decoded));
+  EXPECT_TRUE(BitIdentical(data, decoded));
+}
+
+// Every truncated prefix of a valid blob must be rejected — the trailing
+// checksum plus bounds-checked reads make truncation detection exact.
+TEST(ChunkCodecTest, TruncatedBufferRejected) {
+  Rng rng(42);
+  const ChunkData data = RandomChunk(rng, 3, 60, /*sorted_realistic=*/true);
+  std::vector<uint8_t> blob;
+  EncodeChunk(3, data, &blob);
+  ChunkData decoded;
+  ASSERT_TRUE(DecodeChunk(3, blob.data(), blob.size(), &decoded));
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(DecodeChunk(3, blob.data(), len, &decoded))
+        << "prefix of " << len << " bytes accepted";
+  }
+}
+
+// Any single bit flip anywhere in the blob must be rejected (FNV-1a over
+// the whole blob catches it before the payload is even parsed).
+TEST(ChunkCodecTest, CorruptedBufferRejected) {
+  Rng rng(43);
+  const ChunkData data = RandomChunk(rng, 2, 40, /*sorted_realistic=*/true);
+  std::vector<uint8_t> blob;
+  EncodeChunk(2, data, &blob);
+  ChunkData decoded;
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    std::vector<uint8_t> corrupt = blob;
+    corrupt[byte] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+    EXPECT_FALSE(DecodeChunk(2, corrupt.data(), corrupt.size(), &decoded))
+        << "flip in byte " << byte << " accepted";
+  }
+}
+
+TEST(ChunkCodecTest, WrongDimensionalityRejected) {
+  Rng rng(44);
+  const ChunkData data = RandomChunk(rng, 3, 20, /*sorted_realistic=*/true);
+  std::vector<uint8_t> blob;
+  EncodeChunk(3, data, &blob);
+  ChunkData decoded;
+  EXPECT_FALSE(DecodeChunk(4, blob.data(), blob.size(), &decoded));
+  EXPECT_FALSE(DecodeChunk(2, blob.data(), blob.size(), &decoded));
+  EXPECT_TRUE(DecodeChunk(3, blob.data(), blob.size(), &decoded));
+}
+
+TEST(ChunkCodecTest, GarbageBufferRejected) {
+  Rng rng(45);
+  ChunkData decoded;
+  EXPECT_FALSE(DecodeChunk(3, nullptr, 0, &decoded));
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint8_t> garbage(rng.Uniform(200));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_FALSE(DecodeChunk(3, garbage.data(), garbage.size(), &decoded));
+  }
+}
+
+}  // namespace
+}  // namespace aac

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "cache/chunk_cache.h"
+#include "cache/warm_tier.h"
 #include "core/circuit_breaker.h"
 #include "core/concurrent_engine.h"
 #include "storage/chunk_data.h"
@@ -38,7 +40,11 @@ TEST(OverloadStorm, MixedDeadlineStormResolvesEverythingAndLeaksNothing) {
   config.engine.retry.max_attempts = 2;
   config.engine.retry.initial_backoff_ns = 100'000;
   config.engine.retry.deadline_ns = 5'000'000;
+  // Tiered: constant eviction pressure demotes into a compressed warm
+  // tier, and deadline-laden probes race promotions throughout the storm.
+  config.warm_fraction = 0.5;
   Experiment exp(config);
+  ASSERT_NE(exp.warm_tier(), nullptr);
 
   ConcurrentQueryEngine pool([&exp] { return exp.NewEngine(); });
   // ...which flips the shared breaker open/closed throughout the storm.
@@ -128,6 +134,19 @@ TEST(OverloadStorm, MixedDeadlineStormResolvesEverythingAndLeaksNothing) {
   // show up here).
   EXPECT_TRUE(exp.cache().ValidateInvariants());
   EXPECT_EQ(exp.cache().TotalPinCount(), 0);
+
+  // The demotion ledger survived the storm: bytes that left the hot budget
+  // were handed to the warm tier atomically — every demotion became
+  // exactly one offer, both tiers are structurally sound, and the hot tier
+  // never exceeded its budget.
+  const CacheStats hot = exp.cache().stats();
+  const WarmTierStats warm = exp.warm_tier()->stats();
+  EXPECT_GT(hot.demotions, 0);
+  EXPECT_EQ(hot.demotions, warm.offers);
+  EXPECT_LE(exp.cache().bytes_used(), exp.cache_bytes());
+  EXPECT_LE(exp.warm_tier()->bytes_used(),
+            exp.warm_tier()->capacity_bytes());
+  EXPECT_TRUE(exp.warm_tier()->ValidateInvariants());
 
   // The admission ledger is drained and consistent with what the threads
   // observed: every query either passed the gate or was typed out at it.

@@ -13,6 +13,11 @@
 #                              # ASan+UBSan and TSan
 #   tools/check.sh resultcache # result-cache/canonicalization suite under
 #                              # ASan+UBSan and TSan
+#   tools/check.sh tiered      # tiered-cache suite (codec differential
+#                              # fuzz, demotion/promotion, torn spill
+#                              # files, promotion races) under ASan+UBSan
+#                              # and TSan, plus tiered_cache --smoke in
+#                              # each build
 #   tools/check.sh bench-smoke # rollup-kernel + overload-storm +
 #                              # result-cache smoke and the kernel suite
 #                              # under ASan+UBSan and TSan
@@ -93,6 +98,28 @@ run_resultcache() {
   echo "=== resultcache/${name}: OK ==="
 }
 
+# Sanitized gate for the tiered chunk cache: run the "tiered"-labeled
+# suite (codec round-trip/differential fuzz, demotion-ledger accounting,
+# torn-spill-file regressions, single-flight promotion races) under
+# ASan+UBSan and then TSan, plus the tiered_cache bench in --smoke mode
+# (it exits nonzero unless both tiered modes strictly beat the one-tier
+# hit rate at equal RAM and every tier's invariants hold). Demote/promote
+# bugs surface as lifetime errors on encoded blobs or races between the
+# eviction path and single-flight decode — both sanitizers gate them.
+run_tiered() {
+  local name="$1" build_dir="$2" sanitize="$3"
+  echo "=== tiered/${name}: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  echo "=== tiered/${name}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}" --target tiered_cache \
+    chunk_codec_test tiered_cache_test
+  echo "=== tiered/${name}: tiered_cache --smoke ==="
+  "${build_dir}/bench/tiered_cache" --smoke
+  echo "=== tiered/${name}: ctest (-L tiered) ==="
+  (cd "${build_dir}" && ctest -L tiered --output-on-failure -j "${jobs}")
+  echo "=== tiered/${name}: OK ==="
+}
+
 # Sanitized gate for the rollup kernel: build the rollup_kernel,
 # overload_storm and result_cache benches plus the "kernel"-labeled tests
 # under ASan+UBSan and TSan, run the benches in --smoke mode (tiny sizes;
@@ -167,6 +194,10 @@ case "${mode}" in
     run_resultcache "asan+ubsan" "${repo_root}/build-asan" ON
     run_resultcache "tsan" "${repo_root}/build-tsan" thread
     ;;
+  tiered)
+    run_tiered "asan+ubsan" "${repo_root}/build-asan" ON
+    run_tiered "tsan" "${repo_root}/build-tsan" thread
+    ;;
   bench-smoke)
     run_bench_smoke "asan+ubsan" "${repo_root}/build-asan" ON
     run_bench_smoke "tsan" "${repo_root}/build-tsan" thread
@@ -186,7 +217,7 @@ case "${mode}" in
     run_tsan
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|robustness|resultcache|bench-smoke|kernel-simd|lint|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|robustness|resultcache|tiered|bench-smoke|kernel-simd|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -32,7 +32,9 @@ it enforces the invariants that keep the clang gate meaningful:
       tools/check.sh robustness runs under ASan/UBSan and TSan. Tests that
       exercise the semantic result cache or the query canonicalizer must
       carry the "resultcache" label, which tools/check.sh resultcache runs
-      under both sanitizer configurations.
+      under both sanitizer configurations. Tests that exercise the tiered
+      cache (warm tier, disk spill tier, or the chunk codec) must carry
+      the "tiered" label, which tools/check.sh tiered runs the same way.
   R6  Raw std::this_thread::sleep_for is banned outside src/util/sleep.h.
       Every wait must go through the clock-aware helpers (SleepForNanos /
       SleepForNanosClamped) or a deadline-bounded CondVar wait — a naked
@@ -197,6 +199,35 @@ ANNOTATION_TABLE = [
     ("src/cache/result_cache.h",
      r"EvictFor\([^;]*\)[^;]*AAC_REQUIRES\(mutex_\)",
      "ResultCache::EvictFor must carry AAC_REQUIRES(mutex_)"),
+    # Warm tier: entries, the single-flight decode map and the CLOCK ring
+    # all mutate under the one warm mutex; EvictFor hands victims to the
+    # disk tier only after unlocking, so it must prove the lock is held.
+    ("src/cache/warm_tier.h",
+     r"entries_\s+AAC_GUARDED_BY\(mutex_\)",
+     "WarmTier::entries_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/warm_tier.h",
+     r"flights_\s+AAC_GUARDED_BY\(mutex_\)",
+     "WarmTier::flights_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/warm_tier.h",
+     r"bytes_used_\s+AAC_GUARDED_BY\(mutex_\)",
+     "WarmTier::bytes_used_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/warm_tier.h",
+     r"EvictFor\([^;]*\)[^;]*AAC_REQUIRES\(mutex_\)",
+     "WarmTier::EvictFor must carry AAC_REQUIRES(mutex_)"),
+    # Disk tier: the spill-file handle and extent index share one mutex;
+    # compaction rewrites the file and so assumes it too.
+    ("src/cache/disk_tier.h",
+     r"file_\s+AAC_GUARDED_BY\(mutex_\)",
+     "DiskTier::file_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/disk_tier.h",
+     r"entries_\s+AAC_GUARDED_BY\(mutex_\)",
+     "DiskTier::entries_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/disk_tier.h",
+     r"live_bytes_\s+AAC_GUARDED_BY\(mutex_\)",
+     "DiskTier::live_bytes_ must be AAC_GUARDED_BY(mutex_)"),
+    ("src/cache/disk_tier.h",
+     r"MaybeCompact\(\)\s*AAC_REQUIRES\(mutex_\)",
+     "DiskTier::MaybeCompact must carry AAC_REQUIRES(mutex_)"),
     # Rollup plan cache.
     ("src/storage/rollup_plan.h",
      r"plans_\s*\n?\s*AAC_GUARDED_BY\(mutex_\)",
@@ -309,6 +340,15 @@ RESULTCACHE_MARKERS = re.compile(
     r"|\"core/query_canon\.h\")"
 )
 
+# Tests that drive the tiered cache (the compressed warm tier, the disk
+# spill tier, or the chunk codec feeding both) belong to the tiered label —
+# tools/check.sh tiered runs that label under ASan/UBSan and TSan.
+TIERED_MARKERS = re.compile(
+    r"#\s*include\s*(\"cache/warm_tier\.h\""
+    r"|\"cache/disk_tier\.h\""
+    r"|\"storage/chunk_codec\.h\")"
+)
+
 
 def check_test_registry():
     cmake = REPO / "tests" / "CMakeLists.txt"
@@ -352,6 +392,13 @@ def check_test_registry():
                         "but is not labeled \"resultcache\" — "
                         "tools/check.sh resultcache will never run it under "
                         "the sanitizers")
+        if TIERED_MARKERS.search(text):
+            if "tiered" not in registered[name]:
+                finding(path, 1, "R5-tiered-label",
+                        f"{name} exercises the tiered cache (warm/disk tier "
+                        "or chunk codec) but is not labeled \"tiered\" — "
+                        "tools/check.sh tiered will never run it under the "
+                        "sanitizers")
 
 
 # --------------------------------------------------------------------------
