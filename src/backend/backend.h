@@ -9,6 +9,7 @@
 #include "storage/aggregator.h"
 #include "storage/chunk_data.h"
 #include "storage/fact_table.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/sim_clock.h"
 #include "util/thread_annotations.h"
@@ -136,7 +137,7 @@ class BackendServer : public Backend {
   const FactTable* table_;
   BackendCostModel model_;
   SimClock* clock_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kBackend, "backend"};
   Aggregator aggregator_ AAC_GUARDED_BY(mutex_);
   BackendStats stats_ AAC_GUARDED_BY(mutex_);
 };

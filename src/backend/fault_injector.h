@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
@@ -111,7 +112,7 @@ class FaultInjectingBackend : public Backend {
   Backend* inner_;
   FaultConfig config_;
   SimClock* clock_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kFaultInjector, "fault_injector"};
   Rng rng_ AAC_GUARDED_BY(mutex_);
   FaultStats stats_ AAC_GUARDED_BY(mutex_);
 };

@@ -11,6 +11,7 @@
 #include "cache/cache_entry.h"
 #include "cache/replacement.h"
 #include "storage/chunk_data.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -211,7 +212,7 @@ class ChunkCache {
   /// One lock domain: entries, CLOCK rings/hands and byte accounting for
   /// the keys that hash here.
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{LockRank::kCacheShard, "chunk_cache.shard"};
     EntryMap entries AAC_GUARDED_BY(mutex);
     // One CLOCK ring + hand per victim class, so a class-targeted sweep
     // never walks entries of protected classes.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cache/cache_entry.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -123,7 +124,7 @@ class DiskTier {
   void MaybeCompact() AAC_REQUIRES(mutex_);
 
   const Config config_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kDiskTier, "disk_tier"};
   std::FILE* file_ AAC_GUARDED_BY(mutex_) = nullptr;
   EntryMap entries_ AAC_GUARDED_BY(mutex_);
   std::list<CacheKey> ring_ AAC_GUARDED_BY(mutex_);

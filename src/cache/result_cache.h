@@ -13,6 +13,7 @@
 #include "chunks/chunk_grid.h"
 #include "schema/level_vector.h"
 #include "storage/chunk_data.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -188,7 +189,7 @@ class ResultCache : public CacheListener {
   void InvalidateChunk(const CacheKey& key) AAC_REQUIRES(mutex_);
 
   const Config config_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kResultCache, "result_cache"};
   EntryMap entries_ AAC_GUARDED_BY(mutex_);
   std::list<ResultCacheKey> ring_ AAC_GUARDED_BY(mutex_);
   std::list<ResultCacheKey>::iterator hand_ AAC_GUARDED_BY(mutex_);

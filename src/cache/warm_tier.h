@@ -11,6 +11,7 @@
 #include "cache/disk_tier.h"
 #include "storage/chunk_data.h"
 #include "util/deadline.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -159,7 +160,7 @@ class WarmTier : public DemotionSink {
       AAC_REQUIRES(mutex_);
 
   const Config config_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kWarmTier, "warm_tier"};
   CondVar flight_cv_;  // notified when any flight completes
   EntryMap entries_ AAC_GUARDED_BY(mutex_);
   FlightMap flights_ AAC_GUARDED_BY(mutex_);

@@ -5,6 +5,7 @@
 
 #include "core/circuit_breaker.h"
 #include "util/deadline.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -105,7 +106,7 @@ class AdmissionController {
   const AdmissionConfig config_;
   CircuitBreaker* breaker_ = nullptr;  // set before threads start
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kAdmission, "admission"};
   CondVar slot_freed_;
   int running_ AAC_GUARDED_BY(mutex_) = 0;
   int running_batch_ AAC_GUARDED_BY(mutex_) = 0;

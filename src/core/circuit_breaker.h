@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/sim_clock.h"
 #include "util/thread_annotations.h"
@@ -90,7 +91,7 @@ class CircuitBreaker {
 
   const BreakerConfig config_;
   const SimClock* clock_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kCircuitBreaker, "circuit_breaker"};
   BreakerState state_ AAC_GUARDED_BY(mutex_) = BreakerState::kClosed;
   int consecutive_failures_ AAC_GUARDED_BY(mutex_) = 0;
   int half_open_successes_ AAC_GUARDED_BY(mutex_) = 0;

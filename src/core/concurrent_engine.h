@@ -12,6 +12,7 @@
 #include "core/single_flight.h"
 #include "storage/morsel_pool.h"
 #include "util/deadline.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -133,7 +134,7 @@ class ConcurrentQueryEngine {
   ResultCache* result_cache_ = nullptr;       // set before threads start
   WarmTier* warm_tier_ = nullptr;             // set before threads start
   std::atomic<int64_t> fold_arena_trims_{0};
-  mutable Mutex pool_mutex_;
+  mutable Mutex pool_mutex_{LockRank::kEnginePool, "engine_pool"};
   std::vector<std::unique_ptr<QueryEngine>> idle_ AAC_GUARDED_BY(pool_mutex_);
   int64_t engines_created_ AAC_GUARDED_BY(pool_mutex_) = 0;
   std::atomic<int64_t> queries_executed_{0};

@@ -9,6 +9,7 @@
 #include "cache/cache_entry.h"
 #include "storage/chunk_data.h"
 #include "util/deadline.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -43,7 +44,7 @@ class SingleFlight {
   /// One in-flight fetch. Waiters hold a shared_ptr so the slot outlives
   /// its removal from the in-flight map.
   struct Slot {
-    Mutex mutex;
+    Mutex mutex{LockRank::kSingleFlightSlot, "single_flight.slot"};
     CondVar cv;
     bool done AAC_GUARDED_BY(mutex) = false;
     bool ok AAC_GUARDED_BY(mutex) = false;
@@ -99,7 +100,7 @@ class SingleFlight {
  private:
   std::shared_ptr<Slot> Take(const CacheKey& key) AAC_EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kSingleFlightMap, "single_flight.map"};
   std::unordered_map<CacheKey, std::shared_ptr<Slot>, CacheKeyHash> inflight_
       AAC_GUARDED_BY(mutex_);
   std::atomic<int64_t> coalesced_{0};

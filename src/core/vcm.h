@@ -8,6 +8,7 @@
 #include "cache/chunk_cache.h"
 #include "core/strategy.h"
 #include "core/virtual_counts.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -78,7 +79,7 @@ class VcmStrategy : public LookupStrategy, public CacheListener {
   const ChunkGrid* grid_;
   const ChunkCache* cache_;
   ChunkIndexer indexer_;
-  mutable SharedMutex mutex_;
+  mutable SharedMutex mutex_{LockRank::kStrategy, "vcm"};
   VirtualCounts counts_ AAC_GUARDED_BY(mutex_);
   /// Mirror of cache membership with tuple counts, maintained by the
   /// listener hooks so Build never reads the cache.

@@ -10,6 +10,7 @@
 #include "chunks/chunk_size_model.h"
 #include "core/strategy.h"
 #include "core/virtual_counts.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -99,7 +100,7 @@ class VcmcStrategy : public LookupStrategy, public CacheListener {
   const ChunkCache* cache_;
   const ChunkSizeModel* size_model_;
   ChunkIndexer indexer_;
-  mutable SharedMutex mutex_;
+  mutable SharedMutex mutex_{LockRank::kStrategy, "vcmc"};
   VirtualCounts counts_ AAC_GUARDED_BY(mutex_);
   /// Mirror of cache membership (1 = cached), indexed like costs_;
   /// maintained by the listener hooks so Evaluate never reads the cache.

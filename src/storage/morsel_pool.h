@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/rollup_plan.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -91,7 +92,7 @@ class MorselPool {
 
   void HelperLoop(size_t index);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kMorselPool, "morsel_pool"};
   CondVar work_cv_;
   std::vector<Assignment> pending_ AAC_GUARDED_BY(mutex_);
   int idle_ AAC_GUARDED_BY(mutex_) = 0;

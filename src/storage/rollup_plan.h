@@ -11,6 +11,7 @@
 
 #include "chunks/chunk_grid.h"
 #include "storage/tuple.h"
+#include "util/lockdep.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -148,7 +149,8 @@ class RollupPlanCache {
     }
   };
 
-  mutable SharedMutex mutex_;
+  mutable SharedMutex mutex_{LockRank::kRollupPlanCache,
+                              "rollup_plan_cache"};
   std::unordered_map<Key, std::shared_ptr<const RollupPlan>, KeyHash> plans_
       AAC_GUARDED_BY(mutex_);
   std::atomic<int64_t> hits_{0};

@@ -27,10 +27,22 @@
 #                              # which hosts the >= 1.5x SIMD perf assert),
 #                              # then ASan+UBSan, then TSan (the morsel
 #                              # path) — both forced modes each time
+#   tools/check.sh lockdep     # runtime lock-order validation: full test
+#                              # suite built with -DAAC_LOCKDEP=ON, every
+#                              # binary dumping its lock-order graph to one
+#                              # edge file ($AAC_LOCKDEP_DUMP), then
+#                              # tools/lockdep_report.py cycle-checks the
+#                              # union — a cross-run ABBA fails the gate
+#                              # even if no single run inverted the order
 #   tools/check.sh lint        # the lint wall (tools/lint.sh): repo
 #                              # invariants always; clang thread-safety
 #                              # analysis and clang-tidy when LLVM is
 #                              # installed
+#
+# The asan and tsan build trees are always configured with -DAAC_LOCKDEP=ON
+# as well, so every sanitized suite (robustness/resultcache/tiered/...)
+# also runs under the runtime lock-order validator; `all` runs the lint
+# wall, the three build configurations and the lockdep gate.
 
 set -euo pipefail
 
@@ -57,7 +69,8 @@ run_config() {
 run_tsan() {
   local build_dir="${repo_root}/build-tsan"
   echo "=== tsan: configure ==="
-  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE=thread
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE=thread \
+    -DAAC_LOCKDEP=ON
   echo "=== tsan: build ==="
   cmake --build "${build_dir}" -j "${jobs}"
   echo "=== tsan: ctest (-L concurrency) ==="
@@ -73,7 +86,10 @@ run_tsan() {
 run_robustness() {
   local name="$1" build_dir="$2" sanitize="$3"
   echo "=== robustness/${name}: configure ==="
-  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  local lockdep_flag="-DAAC_LOCKDEP=OFF"
+  [ "${sanitize}" != "OFF" ] && lockdep_flag="-DAAC_LOCKDEP=ON"
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}" \
+    "${lockdep_flag}"
   echo "=== robustness/${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}"
   echo "=== robustness/${name}: ctest (-L robustness) ==="
@@ -90,7 +106,10 @@ run_robustness() {
 run_resultcache() {
   local name="$1" build_dir="$2" sanitize="$3"
   echo "=== resultcache/${name}: configure ==="
-  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  local lockdep_flag="-DAAC_LOCKDEP=OFF"
+  [ "${sanitize}" != "OFF" ] && lockdep_flag="-DAAC_LOCKDEP=ON"
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}" \
+    "${lockdep_flag}"
   echo "=== resultcache/${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}"
   echo "=== resultcache/${name}: ctest (-L resultcache) ==="
@@ -109,7 +128,10 @@ run_resultcache() {
 run_tiered() {
   local name="$1" build_dir="$2" sanitize="$3"
   echo "=== tiered/${name}: configure ==="
-  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  local lockdep_flag="-DAAC_LOCKDEP=OFF"
+  [ "${sanitize}" != "OFF" ] && lockdep_flag="-DAAC_LOCKDEP=ON"
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}" \
+    "${lockdep_flag}"
   echo "=== tiered/${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}" --target tiered_cache \
     chunk_codec_test tiered_cache_test
@@ -130,7 +152,10 @@ run_tiered() {
 run_bench_smoke() {
   local name="$1" build_dir="$2" sanitize="$3"
   echo "=== bench-smoke/${name}: configure ==="
-  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  local lockdep_flag="-DAAC_LOCKDEP=OFF"
+  [ "${sanitize}" != "OFF" ] && lockdep_flag="-DAAC_LOCKDEP=ON"
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}" \
+    "${lockdep_flag}"
   echo "=== bench-smoke/${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}" --target rollup_kernel \
     overload_storm result_cache aggregator_test rollup_plan_test
@@ -157,7 +182,10 @@ run_bench_smoke() {
 run_kernel_simd() {
   local name="$1" build_dir="$2" sanitize="$3"
   echo "=== kernel-simd/${name}: configure ==="
-  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}"
+  local lockdep_flag="-DAAC_LOCKDEP=OFF"
+  [ "${sanitize}" != "OFF" ] && lockdep_flag="-DAAC_LOCKDEP=ON"
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_SANITIZE="${sanitize}" \
+    "${lockdep_flag}"
   echo "=== kernel-simd/${name}: build ==="
   cmake --build "${build_dir}" -j "${jobs}" --target rollup_kernel \
     aggregator_test rollup_plan_test fold_kernel_test morsel_fold_test \
@@ -176,12 +204,34 @@ run_kernel_simd() {
   echo "=== kernel-simd/${name}: OK ==="
 }
 
+# Lock-order gate: the whole suite under -DAAC_LOCKDEP=ON, with every test
+# binary appending its lock-order graph to one edge file, then the offline
+# cycle checker over the union. The runtime validator aborts any in-run
+# rank violation on the spot (failing ctest); the checker additionally
+# fails the gate on a cycle assembled across *different* binaries' runs.
+run_lockdep() {
+  local build_dir="${repo_root}/build-lockdep"
+  echo "=== lockdep: configure ==="
+  cmake -B "${build_dir}" -S "${repo_root}" -DAAC_LOCKDEP=ON
+  echo "=== lockdep: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  local edges="${build_dir}/lockdep_edges.tsv"
+  rm -f "${edges}"
+  echo "=== lockdep: ctest (full suite, dumping edges) ==="
+  (cd "${build_dir}" &&
+    AAC_LOCKDEP_DUMP="${edges}" ctest --output-on-failure -j "${jobs}")
+  echo "=== lockdep: cross-run cycle check ==="
+  python3 "${repo_root}/tools/lockdep_report.py" "${edges}"
+  echo "=== lockdep: OK ==="
+}
+
 case "${mode}" in
   plain)
     run_config "plain" "${repo_root}/build"
     ;;
   asan)
-    run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
+    run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON \
+      -DAAC_LOCKDEP=ON
     ;;
   tsan)
     run_tsan
@@ -207,17 +257,22 @@ case "${mode}" in
     run_kernel_simd "asan+ubsan" "${repo_root}/build-asan" ON
     run_kernel_simd "tsan" "${repo_root}/build-tsan" thread
     ;;
+  lockdep)
+    run_lockdep
+    ;;
   lint)
     "${repo_root}/tools/lint.sh"
     ;;
   all)
     "${repo_root}/tools/lint.sh"
     run_config "plain" "${repo_root}/build"
-    run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON
+    run_config "asan+ubsan" "${repo_root}/build-asan" -DAAC_SANITIZE=ON \
+      -DAAC_LOCKDEP=ON
     run_tsan
+    run_lockdep
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|robustness|resultcache|tiered|bench-smoke|kernel-simd|lint|all]" >&2
+    echo "usage: tools/check.sh [plain|asan|tsan|robustness|resultcache|tiered|bench-smoke|kernel-simd|lockdep|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -46,6 +46,14 @@ it enforces the invariants that keep the clang gate meaningful:
       scalar fallback always compiles, tools/check.sh kernel-simd can force
       either path, and bit-identity is proven against one seam instead of
       scattered vector code.
+  R8  Every Mutex / SharedMutex member in src/ must be constructed with an
+      explicit LockRank (src/util/lockdep.h), and both the LockRank enum
+      and the rank declared at each known construction site are pinned
+      here (same pattern as the R2 annotation table). Deleting a rank, or
+      adding a mutex without declaring its place in the global lock
+      order, fails this linter even on machines that never run an
+      AAC_LOCKDEP build — the rank table only means something if it is
+      total.
 
 Exit status 0 with no output (beyond the summary) when clean; 1 with one
 line per finding otherwise.
@@ -460,6 +468,119 @@ def check_intrinsics_confined():
                     )
 
 
+# --------------------------------------------------------------------------
+# R8: the lock-rank table. The runtime validator (src/util/lockdep.cc) can
+# only check orders that were *declared*; this rule keeps the declarations
+# total and pinned. Three layers:
+#   (a) the LockRank enum in src/util/lockdep.h must contain exactly the
+#       pinned (name, value) pairs below — renumbering or deleting a rank
+#       invalidates every recorded edge dump and the DESIGN.md §10 table;
+#   (b) each known mutex member must be constructed with its pinned rank;
+#   (c) any Mutex/SharedMutex member declaration in src/ without a
+#       LockRank::... initializer is an undeclared lock — invisible to the
+#       ordering model the way an std::mutex is invisible to R1.
+# --------------------------------------------------------------------------
+
+LOCK_RANK_ENUM = [
+    ("kAdmission", 100),
+    ("kEnginePool", 200),
+    ("kSingleFlightMap", 300),
+    ("kSingleFlightSlot", 400),
+    ("kCacheShard", 500),
+    ("kResultCache", 600),
+    ("kWarmTier", 700),
+    ("kDiskTier", 800),
+    ("kStrategy", 900),
+    ("kCircuitBreaker", 1200),
+    ("kFaultInjector", 1300),
+    ("kBackend", 1400),
+    ("kRollupPlanCache", 1500),
+    ("kMorselPool", 1600),
+]
+
+LOCK_RANK_TABLE = [
+    ("src/core/admission.h", r"mutex_\{LockRank::kAdmission,",
+     "AdmissionController's mutex must declare LockRank::kAdmission"),
+    ("src/core/concurrent_engine.h", r"pool_mutex_\{LockRank::kEnginePool,",
+     "the engine pool mutex must declare LockRank::kEnginePool"),
+    ("src/core/single_flight.h", r"mutex\{LockRank::kSingleFlightSlot,",
+     "SingleFlight::Slot::mutex must declare LockRank::kSingleFlightSlot"),
+    ("src/core/single_flight.h", r"mutex_\{LockRank::kSingleFlightMap,",
+     "SingleFlight::mutex_ must declare LockRank::kSingleFlightMap"),
+    ("src/cache/chunk_cache.h", r"mutex\{LockRank::kCacheShard,",
+     "ChunkCache::Shard::mutex must declare LockRank::kCacheShard"),
+    ("src/cache/result_cache.h", r"mutex_\{LockRank::kResultCache,",
+     "ResultCache::mutex_ must declare LockRank::kResultCache"),
+    ("src/cache/warm_tier.h", r"mutex_\{LockRank::kWarmTier,",
+     "WarmTier::mutex_ must declare LockRank::kWarmTier"),
+    ("src/cache/disk_tier.h", r"mutex_\{LockRank::kDiskTier,",
+     "DiskTier::mutex_ must declare LockRank::kDiskTier"),
+    ("src/core/vcm.h", r"mutex_\{LockRank::kStrategy,",
+     "VcmStrategy::mutex_ must declare LockRank::kStrategy"),
+    ("src/core/vcmc.h", r"mutex_\{LockRank::kStrategy,",
+     "VcmcStrategy::mutex_ must declare LockRank::kStrategy"),
+    ("src/storage/rollup_plan.h", r"mutex_\{LockRank::kRollupPlanCache,",
+     "RollupPlanCache::mutex_ must declare LockRank::kRollupPlanCache"),
+    ("src/storage/morsel_pool.h", r"mutex_\{LockRank::kMorselPool,",
+     "MorselPool::mutex_ must declare LockRank::kMorselPool"),
+    ("src/core/circuit_breaker.h", r"mutex_\{LockRank::kCircuitBreaker,",
+     "CircuitBreaker::mutex_ must declare LockRank::kCircuitBreaker"),
+    ("src/backend/fault_injector.h", r"mutex_\{LockRank::kFaultInjector,",
+     "FaultInjectingBackend::mutex_ must declare LockRank::kFaultInjector "
+     "(it holds its mutex across the inner backend call, so it must rank "
+     "before kBackend)"),
+    ("src/backend/backend.h", r"mutex_\{LockRank::kBackend,",
+     "BackendServer::mutex_ must declare LockRank::kBackend"),
+]
+
+LOCKDEP_HEADER = REPO / "src" / "util" / "lockdep.h"
+
+# A Mutex/SharedMutex member declaration: the type, a name, then either an
+# initializer or a bare terminator. References and the guard classes don't
+# match (no "&"), and MutexLock/... don't match (\b before the type).
+MUTEX_DECL = re.compile(r"\b(?:mutable\s+)?(Mutex|SharedMutex)\s+(\w+)\s*([;{=])")
+
+
+def check_lock_ranks():
+    # (a) the pinned enum.
+    if not LOCKDEP_HEADER.exists():
+        finding(LOCKDEP_HEADER, 1, "R8-lock-rank",
+                "src/util/lockdep.h missing — the LockRank table is gone")
+    else:
+        text = LOCKDEP_HEADER.read_text(encoding="utf-8")
+        for name, value in LOCK_RANK_ENUM:
+            if not re.search(rf"\b{name}\s*=\s*{value}\b", text):
+                finding(LOCKDEP_HEADER, 1, "R8-lock-rank",
+                        f"LockRank::{name} = {value} missing from the pinned "
+                        "enum — ranks are append-only; renumbering breaks "
+                        "recorded edge dumps and DESIGN.md §10")
+
+    # (b) each known construction site declares its pinned rank.
+    for rel, anchor, description in LOCK_RANK_TABLE:
+        path = REPO / rel
+        if not path.exists():
+            finding(pathlib.Path(rel), 1, "R8-lock-rank",
+                    f"file missing but listed in rank table: {description}")
+            continue
+        if not re.search(anchor, path.read_text(encoding="utf-8"), re.DOTALL):
+            finding(path, 1, "R8-lock-rank", description)
+
+    # (c) no unranked mutex members anywhere in src/.
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc") or path == WRAPPER:
+            continue
+        stripped = "\n".join(code for _, code in source_lines(path))
+        for m in MUTEX_DECL.finditer(stripped):
+            if m.group(3) == "{" and re.match(
+                    r"\s*LockRank::k\w+", stripped[m.end():]):
+                continue
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            finding(path, lineno, "R8-lock-rank",
+                    f"{m.group(1)} member '{m.group(2)}' constructed without "
+                    "an explicit LockRank — every lock must declare its "
+                    "place in the global order (src/util/lockdep.h)")
+
+
 def main():
     check_raw_locks()
     check_annotation_table()
@@ -468,6 +589,7 @@ def main():
     check_test_registry()
     check_raw_sleeps()
     check_intrinsics_confined()
+    check_lock_ranks()
     if findings:
         for line in findings:
             print(line)

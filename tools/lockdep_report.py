@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Cross-run lock-order cycle checker: the offline half of lockdep.
+
+AAC_LOCKDEP builds (cmake -DAAC_LOCKDEP=ON, see src/util/lockdep.h) validate
+rank order on every acquisition *within* a run and abort on the spot. But an
+ABBA inversion split across code paths that never execute in the same
+process — A→B exercised by one test binary or production day, B→A by
+another — never trips the runtime check. Each run therefore dumps its
+lock-order graph (every "held X while block-acquiring Y" edge, keyed by lock
+name) to the file named by $AAC_LOCKDEP_DUMP, appending so many binaries
+share one file. This checker unions any number of dumps and reports:
+
+  * rank regressions — an edge whose destination rank is not above its
+    source rank. The runtime aborts on these, so one in a dump means the
+    dump was produced by a build whose rank table disagrees with the
+    current one (or the dump is corrupt). Hard failure.
+  * cycles among distinct lock names — the cross-run ABBA: each edge was
+    individually legal in its run (same-rank, address-ordered), but the
+    union says two code paths nest the same classes in opposite name
+    order. Only luck of address allocation kept each run safe. Hard
+    failure, reported with both acquisition sites per edge.
+  * same-name self edges — two locks of one class nested. Legal at runtime
+    (increasing address order) and sound if every such path sorts by
+    address, which the checker cannot verify from names alone; reported as
+    a warning so a human confirms the path really address-sorts.
+
+Usage: tools/lockdep_report.py EDGE_FILE [EDGE_FILE ...]
+Exit status: 0 clean (warnings allowed), 1 findings, 2 usage/parse error.
+
+Edge file format (TSV, '#' comments ignored):
+  edge<TAB>from<TAB>from_rank<TAB>to<TAB>to_rank<TAB>count<TAB>from_site<TAB>to_site
+"""
+
+import sys
+
+
+def parse_edges(paths):
+    """Returns {(from, to): {"from_rank", "to_rank", "count", "sites"}}."""
+    edges = {}
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as err:
+            print(f"lockdep_report: cannot read {path}: {err}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for lineno, line in enumerate(lines, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if parts[0] != "edge" or len(parts) != 8:
+                print(f"lockdep_report: {path}:{lineno}: malformed line",
+                      file=sys.stderr)
+                sys.exit(2)
+            _, src, src_rank, dst, dst_rank, count, src_site, dst_site = parts
+            try:
+                src_rank, dst_rank, count = (int(src_rank), int(dst_rank),
+                                             int(count))
+            except ValueError:
+                print(f"lockdep_report: {path}:{lineno}: non-integer rank",
+                      file=sys.stderr)
+                sys.exit(2)
+            edge = edges.setdefault((src, dst), {
+                "from_rank": src_rank, "to_rank": dst_rank, "count": 0,
+                "sites": (src_site, dst_site),
+            })
+            edge["count"] += count
+    return edges
+
+
+def find_cycles(edges):
+    """Cycle detection over the name graph (self edges excluded): returns a
+    list of cycles, each a list of names [a, b, ..., a]."""
+    adjacency = {}
+    for (src, dst) in edges:
+        if src != dst:
+            adjacency.setdefault(src, set()).add(dst)
+
+    cycles = []
+    # Iterative DFS with an explicit on-path set; each back edge yields one
+    # reported cycle. Nodes fully explored once are never re-entered, so
+    # this is linear in edges and reports each cycle's first discovery.
+    done = set()
+    for root in sorted(adjacency):
+        if root in done:
+            continue
+        path = [root]
+        on_path = {root}
+        iters = [iter(sorted(adjacency.get(root, ())))]
+        while iters:
+            advanced = False
+            for nxt in iters[-1]:
+                if nxt in on_path:
+                    cycles.append(path[path.index(nxt):] + [nxt])
+                    continue
+                if nxt in done:
+                    continue
+                path.append(nxt)
+                on_path.add(nxt)
+                iters.append(iter(sorted(adjacency.get(nxt, ()))))
+                advanced = True
+                break
+            if not advanced:
+                done.add(path[-1])
+                on_path.discard(path[-1])
+                path.pop()
+                iters.pop()
+    return cycles
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    edges = parse_edges(argv[1:])
+
+    findings = 0
+    warnings = 0
+
+    for (src, dst), edge in sorted(edges.items()):
+        if src == dst:
+            warnings += 1
+            print(f"warning: same-class nesting {src} -> {dst} "
+                  f"(rank {edge['from_rank']}, count {edge['count']}) at "
+                  f"{edge['sites'][0]} -> {edge['sites'][1]} — legal only "
+                  "if every such path sorts by runtime address; verify")
+        elif edge["to_rank"] < edge["from_rank"]:
+            findings += 1
+            print(f"RANK REGRESSION: {src} (rank {edge['from_rank']}) -> "
+                  f"{dst} (rank {edge['to_rank']}) at {edge['sites'][0]} -> "
+                  f"{edge['sites'][1]} — dump disagrees with the runtime "
+                  "rank table; rebuild and re-dump")
+
+    for cycle in find_cycles(edges):
+        findings += 1
+        print("POTENTIAL DEADLOCK CYCLE: " + " -> ".join(cycle))
+        for a, b in zip(cycle, cycle[1:]):
+            edge = edges[(a, b)]
+            print(f"  {a} (rank {edge['from_rank']}) -> {b} "
+                  f"(rank {edge['to_rank']}), count {edge['count']}, "
+                  f"sites {edge['sites'][0]} -> {edge['sites'][1]}")
+        print("  each edge was legal in its own run (same-rank, "
+              "address-ordered); the union inverts by name — an ABBA "
+              "waiting for the right allocation order")
+
+    print(f"lockdep_report: {len(edges)} edge(s), {findings} finding(s), "
+          f"{warnings} warning(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
